@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Every module here regenerates one table or figure from the paper's
+evaluation: it prints the same rows/series the paper reports next to the
+paper's numbers, and asserts the *shape* (who wins, by roughly what
+factor, where crossovers fall) rather than absolute values.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

@@ -1,0 +1,100 @@
+"""Appendix A.2 / A.4 / A.5: network-bound limits and DRAM sizing.
+
+Paper anchors:
+  * ~600 Gpixel/s raw network transcoding limit -> ~153 Gpixel/s target.
+  * Ceiling of ~30 VCUs per host for realtime work (offline two-pass is
+    far higher; the paper quotes 150 with its rounder 5x slowdown, our
+    Table 1-calibrated 6.7x gives ~205).
+  * ~700 MiB device DRAM per 2160p MOT, ~500 MiB per SOT.
+  * Fleet worst case fits 8 GiB per VCU but not 4 GiB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.balance import (
+    NetworkBalance,
+    fleet_dram_requirement,
+    mot_footprint_mib,
+    sot_footprint_mib,
+    vcu_ceiling_per_host,
+)
+from repro.metrics import format_table
+from repro.vcu.spec import EncodingMode
+
+
+def test_network_limits(once):
+    balance = once(NetworkBalance)
+    print(f"\nraw network transcode limit: {balance.raw_limit_gpix_s:.0f} Gpixel/s "
+          f"(paper ~600)")
+    print(f"effective provisioning target: {balance.effective_limit_gpix_s:.0f} "
+          f"Gpixel/s (paper ~153)")
+    assert balance.raw_limit_gpix_s == pytest.approx(610, rel=0.02)
+    assert balance.effective_limit_gpix_s == pytest.approx(153, rel=0.02)
+
+
+def test_vcu_ceilings(once):
+    def compute():
+        return {
+            mode: vcu_ceiling_per_host(mode)
+            for mode in (EncodingMode.LOW_LATENCY_ONE_PASS, EncodingMode.OFFLINE_TWO_PASS)
+        }
+
+    ceilings = once(compute)
+    realtime = ceilings[EncodingMode.LOW_LATENCY_ONE_PASS]
+    offline = ceilings[EncodingMode.OFFLINE_TWO_PASS]
+    print(f"\nVCUs per host ceilings: realtime {realtime} (paper 30), "
+          f"offline two-pass {offline} (paper 150 at its 5x slowdown figure)")
+    assert realtime == 30
+    assert offline > 4 * realtime
+    # The deployed 20 VCUs per host are deliberately conservative.
+    assert 20 < realtime
+
+
+def test_dram_footprints(once):
+    def compute():
+        return mot_footprint_mib(), sot_footprint_mib()
+
+    mot, sot = once(compute)
+    print(f"\n2160p offline footprints: MOT {mot:.0f} MiB (paper ~700), "
+          f"SOT {sot:.0f} MiB (paper ~500)")
+    assert 500 <= mot <= 900
+    assert 350 <= sot <= 650
+    assert mot > sot
+
+
+def test_fleet_dram_sizing(once):
+    def compute():
+        return {
+            "low_latency_sot": fleet_dram_requirement(EncodingMode.LOW_LATENCY_ONE_PASS),
+            "offline_sot": fleet_dram_requirement(EncodingMode.OFFLINE_TWO_PASS),
+            "offline_mot": fleet_dram_requirement(EncodingMode.OFFLINE_TWO_PASS, use_mot=True),
+        }
+
+    reqs = once(compute)
+    print()
+    rows = []
+    for name, req in reqs.items():
+        rows.append([
+            name, round(req.concurrent_streams), round(req.required_gib),
+            req.vcus_needed, round(req.provided_gib_8g),
+            "yes" if req.fits_8gib else "NO",
+            "yes" if req.fits_4gib else "NO",
+        ])
+    print(format_table(
+        ["Scenario", "Streams", "Required GiB", "VCUs", "8 GiB provides",
+         "fits 8 GiB", "fits 4 GiB"],
+        rows,
+        title="Appendix A.4: fleet DRAM at the 153 Gpixel/s target "
+              "(paper: 150 GiB low-latency, 750 GiB offline; 8 GiB/VCU "
+              "suffices, 4 GiB would not)",
+    ))
+    # The appendix's conclusions.
+    assert reqs["low_latency_sot"].fits_8gib
+    assert reqs["offline_sot"].fits_8gib
+    assert not reqs["offline_sot"].fits_4gib
+    # Offline dominates the requirement; MOT reduces it (~25% in paper).
+    assert reqs["offline_sot"].required_gib > 4 * reqs["low_latency_sot"].required_gib
+    mot_saving = 1 - reqs["offline_mot"].required_gib / reqs["offline_sot"].required_gib
+    assert 0.10 <= mot_saving <= 0.45

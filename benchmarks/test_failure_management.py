@@ -1,0 +1,181 @@
+"""Section 4.4: failure management under fault injection.
+
+Reproduced behaviours:
+  * Black-holing: a failing-but-fast VCU attracts a disproportionate
+    share of traffic when unmitigated.
+  * The mitigation (abort-on-failure + golden-task screening) removes
+    corrupt output entirely while keeping goodput high.
+  * Telemetry-driven disablement keeps the rest of a host serving, and
+    the repair-queue cap bounds fleet capacity loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import CpuWorker, TranscodeCluster, VcuWorker
+from repro.failures import FailureManager, FaultInjector, RepairQueue
+from repro.failures.management import blast_radius
+from repro.metrics import format_table
+from repro.sim import Simulator
+from repro.transcode import PopularityBucket, build_transcode_graph
+from repro.vcu.chip import Vcu
+from repro.vcu.host import VcuHost
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+from repro.vcu.telemetry import FaultKind
+from repro.video.frame import resolution
+
+
+def _run_scenario(mitigated: bool, seed: int = 11, vcus: int = 4, videos: int = 10):
+    """A cluster with one silently-corrupt VCU; returns stats + share."""
+    sim = Simulator()
+    devices = [
+        Vcu(DEFAULT_VCU_SPEC, vcu_id=f"fm-{mitigated}-{seed}-{i}") for i in range(vcus)
+    ]
+    devices[0].mark_corrupt()
+    workers = [VcuWorker(v, golden_screening=mitigated) for v in devices]
+    cluster = TranscodeCluster(
+        sim, workers, [CpuWorker(cores=24)],
+        integrity_check_rate=0.95 if mitigated else 0.0,
+        seed=seed,
+    )
+    graphs = [
+        build_transcode_graph(
+            f"v{i}", resolution("720p"), total_frames=300, fps=30.0,
+            bucket=PopularityBucket.WARM,
+        )
+        for i in range(videos)
+    ]
+    for graph in graphs:
+        cluster.submit(graph)
+    sim.run()
+    processed = [s.processed_by for g in graphs for s in g.transcode_steps()]
+    share = blast_radius(processed, devices[0].vcu_id) / len(processed)
+    return cluster.stats, share
+
+
+def test_black_holing_and_mitigation(once):
+    def measure():
+        unmitigated_stats, unmitigated_share = _run_scenario(mitigated=False)
+        mitigated_stats, mitigated_share = _run_scenario(mitigated=True)
+        return unmitigated_stats, unmitigated_share, mitigated_stats, mitigated_share
+
+    u_stats, u_share, m_stats, m_share = once(measure)
+    print()
+    rows = [
+        ["unmitigated", f"{u_share:.0%}", u_stats.corrupt_escaped, u_stats.retries],
+        ["mitigated", f"{m_share:.0%}", m_stats.corrupt_escaped, m_stats.retries],
+    ]
+    print(format_table(
+        ["Scenario", "Traffic to bad VCU", "Corrupt chunks escaped", "Retries"],
+        rows, title="Section 4.4: black-holing and its mitigation (1 of 4 VCUs corrupt)",
+    ))
+    # The fast-failing VCU black-holes a disproportionate share of
+    # traffic (fair share with 4 VCUs would be 25%).
+    assert u_share > 0.30
+    assert u_stats.corrupt_escaped > 0
+    # Golden screening keeps the bad VCU out entirely.
+    assert m_share == 0.0
+    assert m_stats.corrupt_escaped == 0
+
+
+def test_midstream_failure_retries_elsewhere(once):
+    """A VCU corrupted mid-run: integrity checks catch it, work retries
+    on other VCUs, and the job still completes clean."""
+
+    def measure():
+        sim = Simulator()
+        devices = [Vcu(DEFAULT_VCU_SPEC, vcu_id=f"mid-{i}") for i in range(4)]
+        workers = [VcuWorker(v) for v in devices]
+        cluster = TranscodeCluster(
+            sim, workers, [CpuWorker(cores=24)], integrity_check_rate=1.0, seed=7
+        )
+        injector = FaultInjector(sim, devices, seed=7)
+        injector.corrupt_at(2.0, devices[1])
+        graphs = [
+            build_transcode_graph(
+                f"v{i}", resolution("720p"), 600, 30.0, bucket=PopularityBucket.WARM
+            )
+            for i in range(6)
+        ]
+        for graph in graphs:
+            cluster.submit(graph)
+        sim.run()
+        return cluster.stats, graphs
+
+    stats, graphs = once(measure)
+    print(f"\nmid-stream corruption: retries={stats.retries}, "
+          f"caught={stats.corrupt_caught}, escaped={stats.corrupt_escaped}, "
+          f"graphs completed={stats.completed_graphs}/6")
+    assert stats.completed_graphs == 6
+    assert stats.corrupt_escaped == 0
+    assert all(
+        not s.corrupt_output for g in graphs for s in g.transcode_steps()
+    )
+
+
+def test_fleet_disable_and_repair_cap(once):
+    def measure():
+        hosts = [VcuHost() for _ in range(5)]
+        manager = FailureManager(hosts, repair_cap=2)
+        # Hard-fault a single VCU on host 0 (stays in production) and
+        # blow past the component budget on hosts 1-3.
+        hosts[0].vcus[0].telemetry.record(FaultKind.ECC_UNCORRECTABLE, count=5)
+        for host in hosts[1:4]:
+            for vcu in host.vcus[:6]:
+                vcu.telemetry.record(FaultKind.ECC_UNCORRECTABLE, count=5)
+        manager.sweep()
+        return manager, hosts
+
+    manager, hosts = once(measure)
+    fraction = manager.fleet_capacity_fraction()
+    queued = len(manager.repair_queue.waiting) + len(manager.repair_queue.in_repair)
+    print(f"\nfleet capacity after sweep: {fraction:.0%}; "
+          f"hosts queued for repair: {queued} (cap 2 of 3 unusable)")
+    # Host 0 keeps serving with 19/20 VCUs (unit of fault mgmt = VCU).
+    assert len(hosts[0].healthy_vcus()) == 19
+    # The repair cap limits how many hosts leave production paths.
+    assert queued == 2
+    assert 0.3 <= fraction <= 0.9
+
+
+def test_consistent_hashing_blast_radius(once):
+    """Section 4.4's proposed enhancement: consistent hashing confines a
+    video's chunks to few VCUs, shrinking how many videos one corrupt
+    device can touch."""
+    from repro.failures.consistent_hash import (
+        ChunkAffinityPolicy,
+        ConsistentHashRing,
+        videos_touched_by,
+    )
+
+    def measure():
+        fleet = [f"vcu-{i}" for i in range(50)]
+        videos = [f"v{i}" for i in range(200)]
+        chunks = 120  # a ten-minute video at 5s GOPs
+        # Status quo: chunks scatter over the whole fleet (round-robin,
+        # like a saturated first-fit queue).
+        scattered = {
+            v: [fleet[(i * 7 + c) % len(fleet)] for c in range(chunks)]
+            for i, v in enumerate(videos)
+        }
+        policy = ChunkAffinityPolicy(ConsistentHashRing(fleet), affinity_size=3)
+        confined = {
+            v: [policy.preferred_vcu(v, c) for c in range(chunks)] for v in videos
+        }
+        bad = fleet[0]
+        return (
+            videos_touched_by(scattered, bad),
+            videos_touched_by(confined, bad),
+            len(videos),
+        )
+
+    scattered, confined, total = once(measure)
+    print(f"\nvideos touched by one corrupt VCU out of 50: scattered "
+          f"{scattered}/{total}, consistent-hash affinity {confined}/{total} "
+          f"({scattered / max(confined, 1):.0f}x blast-radius reduction)")
+    # Scattering touches every video; affinity touches only the videos
+    # whose (small) affinity set contains the bad device.
+    assert scattered > 0.9 * total
+    assert confined < 0.2 * total

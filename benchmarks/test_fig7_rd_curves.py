@@ -1,0 +1,128 @@
+"""Figure 7: rate-distortion curves on the vbench suite, plus the
+BD-rate comparisons of Section 4.1.
+
+Paper claims reproduced here (suite-average BD-rate, PSNR-based):
+  * VCU-VP9 vs libx264 (software H.264): ~-30% (the headline win)
+  * VCU-H.264 vs libx264:               ~+11.5% (hardware lacks trellis)
+  * VCU-VP9 vs libvpx:                  ~+18%
+plus the qualitative curve properties: easy screen-content titles sit at
+high PSNR / low bitrate, `holi` is the hardest, and VP9 curves sit left
+of H.264 curves.
+
+This is a real encode sweep (functional codec), so it is the slowest
+benchmark: ~4 encoder profiles x 15 titles x 5 QPs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec.profiles import ALL_PROFILES
+from repro.harness.rd import suite_bd_rates, suite_rd_curves
+from repro.metrics import format_table
+from repro.video.vbench import VBENCH_SUITE
+
+#: Economical sweep settings (1-core machine); calibration bands below
+#: were validated at these and the default settings.
+FRAMES = 6
+PROXY_HEIGHT = 60
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return suite_rd_curves(
+        profiles=ALL_PROFILES,
+        titles=VBENCH_SUITE,
+        frame_count=FRAMES,
+        proxy_height=PROXY_HEIGHT,
+    )
+
+
+def test_fig7_bd_rates(curves, once):
+    summary = once(lambda: suite_bd_rates(curves))
+    print()
+    rows = [
+        ["VCU-VP9 vs libx264", round(summary.vcu_vp9_vs_libx264, 1), -30.0],
+        ["VCU-H264 vs libx264", round(summary.vcu_h264_vs_libx264, 1), 11.5],
+        ["VCU-VP9 vs libvpx", round(summary.vcu_vp9_vs_libvpx, 1), 18.0],
+        ["libvpx vs libx264", round(summary.libvpx_vs_libx264, 1), -41.0],
+    ]
+    print(format_table(
+        ["Comparison", "BD-rate % (ours)", "BD-rate % (paper)"],
+        rows, title="Figure 7 / Section 4.1: suite-average BD-rates",
+    ))
+    # Shape bands: sign and rough magnitude must match the paper.
+    assert -45.0 <= summary.vcu_vp9_vs_libx264 <= -15.0
+    assert 5.0 <= summary.vcu_h264_vs_libx264 <= 20.0
+    assert 10.0 <= summary.vcu_vp9_vs_libvpx <= 30.0
+    assert summary.libvpx_vs_libx264 < -25.0
+
+
+def test_fig7_curve_shapes(curves, once):
+    """The qualitative Figure 7 features."""
+
+    def analyse():
+        # PSNR at the mid QP for each title/profile.
+        mid = {}
+        for title, by_profile in curves.items():
+            mid[title] = {
+                name: points[2] for name, points in by_profile.items()
+            }
+        return mid
+
+    mid = once(analyse)
+    print()
+    rows = [
+        [title,
+         round(mid[title]["libx264"].psnr, 1),
+         round(mid[title]["vcu-vp9"].psnr, 1),
+         round(mid[title]["libx264"].bitrate / 1e6, 2),
+         round(mid[title]["vcu-vp9"].bitrate / 1e6, 2)]
+        for title in (v.name for v in VBENCH_SUITE)
+    ]
+    print(format_table(
+        ["Title", "x264 PSNR", "VCU-VP9 PSNR", "x264 Mbps", "VCU-VP9 Mbps"],
+        rows, title="Figure 7: mid-QP operating points per title",
+    ))
+
+    # Easy screen content compresses far better than the hardest title.
+    easy = mid["presentation"]["libx264"]
+    hard = mid["holi"]["libx264"]
+    easy_bpp = easy.bitrate / 1e6
+    hard_bpp = hard.bitrate / 1e6
+    assert easy.psnr > hard.psnr
+    assert easy_bpp < 0.5 * hard_bpp
+
+    # VP9 needs fewer bits than H.264 at the same QP rung for hard titles.
+    assert mid["holi"]["vcu-vp9"].bitrate < mid["holi"]["libx264"].bitrate
+
+    # Curves behave: along the QP ladder, quality never improves and
+    # bitrate essentially never grows (real encoders show tiny tail
+    # upticks on near-static content where header bits dominate, so a
+    # few percent of slack is allowed).
+    for title, by_profile in curves.items():
+        for name, points in by_profile.items():
+            for low_qp, high_qp in zip(points, points[1:]):
+                assert high_qp.psnr <= low_qp.psnr + 0.05, f"{title}/{name}"
+                assert high_qp.bitrate <= low_qp.bitrate * 1.08, f"{title}/{name}"
+
+
+def test_fig7_prints_full_series(curves, once):
+    """Emit the full RD series (the actual figure data)."""
+
+    def render():
+        lines = []
+        for title, by_profile in curves.items():
+            for name, points in by_profile.items():
+                series = " ".join(
+                    f"({p.bitrate/1e6:.2f}Mbps,{p.psnr:.1f}dB)" for p in points
+                )
+                lines.append(f"{title:14s} {name:9s} {series}")
+        return lines
+
+    lines = once(render)
+    print()
+    print("Figure 7: operational RD curves (bitrate scaled to nominal resolution)")
+    for line in lines:
+        print(line)
+    assert len(lines) == len(VBENCH_SUITE) * len(ALL_PROFILES)

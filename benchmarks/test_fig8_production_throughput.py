@@ -1,0 +1,85 @@
+"""Figure 8: per-VCU throughput on real production upload workloads.
+
+Paper: the main MOT worker job sustains ~400 Mpix/s per VCU with very low
+variability; the single-output (SOT) worker sits near ~250 Mpix/s because
+it re-decodes the source per output and must also produce inefficient
+low-resolution outputs for high-resolution inputs.  Both sit below the
+vbench numbers because of I/O and the production workload mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import CpuWorker, TranscodeCluster, VcuWorker
+from repro.metrics import format_table
+from repro.sim import Simulator
+from repro.transcode.ladder import LadderPolicy
+from repro.vcu.chip import Vcu
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+from repro.workloads.upload import UploadGenerator
+
+EPOCHS = 5
+HORIZON = 90.0
+VCUS = 5
+
+
+def run_epoch(seed: int, use_mot: bool) -> float:
+    """One production epoch; returns Mpix/s per VCU.
+
+    The worker-type resource mapping differs by step shape (Section 3.3.3
+    allows per-worker-type cost mappings): SOT steps are batch work sized
+    at a lower realtime multiple, since rushing six redundant decodes of
+    the same input would only exhaust the decode dimension faster.
+    """
+    sim = Simulator()
+    workers = [
+        VcuWorker(
+            Vcu(DEFAULT_VCU_SPEC, vcu_id=f"fig8-{seed}-{use_mot}-{i}"),
+            target_speedup=5.0 if use_mot else 2.5,
+        )
+        for i in range(VCUS)
+    ]
+    cluster = TranscodeCluster(
+        sim, workers, [CpuWorker(cores=24)], seed=seed,
+    )
+    # Demand comfortably above fleet capacity: production VCU workers run
+    # saturated (the deep global work queue always has chunks waiting).
+    generator = UploadGenerator(
+        arrivals_per_second=0.25 * VCUS, seed=seed, mean_duration_seconds=45.0
+    )
+    for video in generator.videos(until=HORIZON):
+        graph = generator.to_graph(video, LadderPolicy(), use_mot=use_mot)
+        sim.call_at(video.arrival_time, lambda g=graph: cluster.submit(g))
+    sim.run(until=HORIZON)
+    return cluster.stats.throughput.total_megapixels / HORIZON / VCUS
+
+
+def test_fig8_mot_vs_sot(once):
+    def measure():
+        mot = [run_epoch(seed, use_mot=True) for seed in range(EPOCHS)]
+        sot = [run_epoch(seed, use_mot=False) for seed in range(EPOCHS)]
+        return mot, sot
+
+    mot, sot = once(measure)
+    print()
+    rows = [
+        [epoch + 1, round(m), round(s)] for epoch, (m, s) in enumerate(zip(mot, sot))
+    ]
+    rows.append(["mean", round(float(np.mean(mot))), round(float(np.mean(sot)))])
+    rows.append(["paper", 400, 250])
+    print(format_table(
+        ["Epoch", "MOT Mpix/s per VCU", "SOT Mpix/s per VCU"],
+        rows, title="Figure 8: production throughput per VCU",
+    ))
+
+    mot_mean, sot_mean = float(np.mean(mot)), float(np.mean(sot))
+    # Shape: MOT clearly above SOT, both below the vbench figures, in the
+    # right neighbourhoods.
+    assert 300 <= mot_mean <= 600
+    assert 120 <= sot_mean <= 380
+    assert mot_mean > 1.25 * sot_mean
+    # The MOT line is steady (paper: "lack of variability in the MOT
+    # line"): coefficient of variation stays small.
+    assert float(np.std(mot)) / mot_mean < 0.10

@@ -1,0 +1,146 @@
+"""Table 1: offline two-pass SOT throughput and perf/TCO, plus the MOT
+aside and the perf/watt comparisons of Section 4.1.
+
+Paper rows (Mpix/s, perf/TCO vs Skylake):
+    Skylake      714 / 154      1.0x / 1.0x
+    4xNvidia T4  2,484 / --     1.5x / --
+    8xVCU        5,973 / 6,122  4.4x / 20.8x
+    20xVCU       14,932/ 15,306 7.0x / 33.3x
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GpuSystem, SkylakeSystem
+from repro.metrics import format_table
+from repro.tco import (
+    SKYLAKE_COST,
+    T4_SYSTEM_COST,
+    VCU_SYSTEM_8,
+    VCU_SYSTEM_20,
+    perf_per_tco,
+    perf_per_watt,
+)
+from repro.vcu.spec import DEFAULT_VCU_SPEC, EncodingMode
+from repro.vcu.throughput import mot_throughput, sot_throughput, vbench_sot_system_throughput
+from repro.video.frame import resolution
+
+PAPER = {
+    ("Skylake", "h264"): (714, 1.0),
+    ("Skylake", "vp9"): (154, 1.0),
+    ("4xNvidia T4", "h264"): (2484, 1.5),
+    ("8xVCU", "h264"): (5973, 4.4),
+    ("8xVCU", "vp9"): (6122, 20.8),
+    ("20xVCU", "h264"): (14932, 7.0),
+    ("20xVCU", "vp9"): (15306, 33.3),
+}
+
+
+def build_table1():
+    cpu, gpu, spec = SkylakeSystem(), GpuSystem(), DEFAULT_VCU_SPEC
+    rows = []
+    systems = [
+        ("Skylake", SKYLAKE_COST, lambda c: cpu.machine_throughput(c)),
+        ("4xNvidia T4", T4_SYSTEM_COST,
+         lambda c: gpu.machine_throughput(c) if gpu.supports(c) else None),
+        ("8xVCU", VCU_SYSTEM_8, lambda c: vbench_sot_system_throughput(spec, c, 8)),
+        ("20xVCU", VCU_SYSTEM_20, lambda c: vbench_sot_system_throughput(spec, c, 20)),
+    ]
+    for name, cost, throughput_of in systems:
+        row = {"system": name}
+        for codec in ("h264", "vp9"):
+            throughput = throughput_of(codec)
+            row[codec] = throughput
+            if throughput is None:
+                row[f"{codec}_tco"] = None
+            else:
+                base = cpu.machine_throughput(codec)
+                row[f"{codec}_tco"] = perf_per_tco(throughput, cost, base)
+        rows.append(row)
+    return rows
+
+
+def test_table1(once):
+    rows = once(build_table1)
+    display = []
+    for row in rows:
+        for codec in ("h264", "vp9"):
+            paper = PAPER.get((row["system"], codec))
+            display.append([
+                row["system"], codec.upper(),
+                "-" if row[codec] is None else round(row[codec]),
+                "-" if paper is None else paper[0],
+                "-" if row[f"{codec}_tco"] is None else round(row[f"{codec}_tco"], 1),
+                "-" if paper is None else paper[1],
+            ])
+    print()
+    print(format_table(
+        ["System", "Codec", "Mpix/s (ours)", "Mpix/s (paper)",
+         "perf/TCO (ours)", "perf/TCO (paper)"],
+        display, title="Table 1: offline two-pass SOT throughput",
+    ))
+
+    by_key = {(r["system"], c): r for r in rows for c in ("h264", "vp9")}
+    for (system, codec), (paper_mpix, paper_tco) in PAPER.items():
+        row = by_key[(system, codec)]
+        assert row[codec] == pytest.approx(paper_mpix, rel=0.02)
+        assert row[f"{codec}_tco"] == pytest.approx(paper_tco, rel=0.15)
+    # Ordering: VCUs dominate GPU dominates CPU on raw throughput.
+    assert by_key[("20xVCU", "h264")]["h264"] > by_key[("4xNvidia T4", "h264")]["h264"]
+    assert by_key[("4xNvidia T4", "h264")]["h264"] > by_key[("Skylake", "h264")]["h264"]
+
+
+def test_mot_uplift(once):
+    """Section 4.1: MOT is 1.2-1.3x SOT (976 / 927 Mpix/s per VCU)."""
+
+    def measure():
+        spec = DEFAULT_VCU_SPEC
+        out = {}
+        for codec in ("h264", "vp9"):
+            sot = sot_throughput(
+                spec, codec, EncodingMode.OFFLINE_TWO_PASS, resolution("1080p")
+            ).throughput
+            mot = mot_throughput(
+                spec, codec, EncodingMode.OFFLINE_TWO_PASS, resolution("1080p")
+            ).throughput
+            out[codec] = (sot, mot)
+        return out
+
+    result = once(measure)
+    print()
+    rows = [[codec.upper(), round(sot), round(mot), round(mot / sot, 2),
+             {"h264": 976, "vp9": 927}[codec]]
+            for codec, (sot, mot) in result.items()]
+    print(format_table(
+        ["Codec", "SOT/VCU", "MOT/VCU", "MOT/SOT", "paper MOT"],
+        rows, title="MOT vs SOT per VCU (Mpix/s)",
+    ))
+    for codec, (sot, mot) in result.items():
+        assert 1.2 <= mot / sot <= 1.3
+        assert mot == pytest.approx({"h264": 976, "vp9": 927}[codec], rel=0.10)
+
+
+def test_perf_per_watt(once):
+    """Section 4.1: 6.7x (H.264 SOT) and 68.9x (VP9 MOT) vs CPU."""
+
+    def measure():
+        spec = DEFAULT_VCU_SPEC
+        h264 = perf_per_watt(
+            vbench_sot_system_throughput(spec, "h264", 20), VCU_SYSTEM_20,
+            SkylakeSystem().machine_throughput("h264"), codec="h264",
+        )
+        vp9_mot = mot_throughput(
+            spec, "vp9", EncodingMode.OFFLINE_TWO_PASS, resolution("1080p")
+        ).throughput * 20
+        vp9 = perf_per_watt(
+            vp9_mot, VCU_SYSTEM_20,
+            SkylakeSystem().machine_throughput("vp9"), codec="vp9",
+        )
+        return h264, vp9
+
+    h264, vp9 = once(measure)
+    print(f"\nperf/watt vs CPU: H.264 SOT {h264:.1f}x (paper 6.7x), "
+          f"VP9 MOT {vp9:.1f}x (paper 68.9x)")
+    assert h264 == pytest.approx(6.7, rel=0.12)
+    assert vp9 == pytest.approx(68.9, rel=0.15)

@@ -1,0 +1,54 @@
+"""Table 2 / Appendix A.3: host resources scaled for 153 Gpixel/s.
+
+Paper rows:
+    Transcoding overheads   42 cores   214 Gbps
+    Network & RPC           13 cores   300 Gbps
+    Total                   55 cores   712 Gbps
+(plus the implied bandwidth-only PCIe-DMA row that reconciles the total;
+see repro.balance.host).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.balance import host_resource_table
+from repro.balance.host import host_headroom
+from repro.metrics import format_table
+
+PAPER = {
+    "Transcoding overheads": (42, 214),
+    "Network & RPC": (13, 300),
+    "Total": (55, 712),
+}
+
+
+def test_table2(once):
+    rows = once(lambda: host_resource_table(153.0))
+    print()
+    display = []
+    for row in rows:
+        paper = PAPER.get(row.use, ("-", "-"))
+        display.append([
+            row.use, round(row.logical_cores, 1), paper[0],
+            round(row.dram_bandwidth_gbps), paper[1],
+        ])
+    print(format_table(
+        ["Use", "Cores (ours)", "Cores (paper)", "DRAM Gbps (ours)", "DRAM Gbps (paper)"],
+        display, title="Table 2: host resources scaled for 153 Gpixel/s",
+    ))
+    by_use = {r.use: r for r in rows}
+    for use, (cores, gbps) in PAPER.items():
+        assert by_use[use].logical_cores == pytest.approx(cores, rel=0.02)
+        assert by_use[use].dram_bandwidth_gbps == pytest.approx(gbps, rel=0.02)
+
+
+def test_host_headroom(once):
+    headroom = once(host_headroom)
+    print(f"\nhost usage at 153 Gpixel/s: "
+          f"{headroom['cores_used']:.0f}/{headroom['cores_available']:.0f} cores, "
+          f"{headroom['dram_gbps_used']:.0f}/{headroom['dram_gbps_available']:.0f} Gbps "
+          f"-- about half the host (Appendix A.3)")
+    # Appendix A.3: "about half of what the target host system provides".
+    assert 0.4 <= headroom["core_fraction"] <= 0.65
+    assert 0.35 <= headroom["dram_fraction"] <= 0.55

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Capacity planning with the Appendix A system-balance models.
+
+Answers the questions the paper's Appendix A answers, for an arbitrary
+deployment: how many Gpixel/s can one host's network feed, how many VCUs
+is that, how much device DRAM do the worst-case encoding modes pin, and
+what does the host itself have to supply -- then sweeps NIC speed to show
+where the balance point moves for a future host.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.balance import (
+    NetworkBalance,
+    fleet_dram_requirement,
+    host_resource_table,
+    mot_footprint_mib,
+    sot_footprint_mib,
+    vcu_ceiling_per_host,
+)
+from repro.metrics import format_table
+from repro.vcu.spec import EncodingMode, HostSpec
+
+
+def main() -> None:
+    balance = NetworkBalance()
+    print(f"network transcode limit: raw {balance.raw_limit_gpix_s:.0f} Gpixel/s, "
+          f"provisioned {balance.effective_limit_gpix_s:.0f} Gpixel/s per host")
+    print(f"VCU ceilings per host: realtime "
+          f"{vcu_ceiling_per_host(EncodingMode.LOW_LATENCY_ONE_PASS)}, "
+          f"offline two-pass "
+          f"{vcu_ceiling_per_host(EncodingMode.OFFLINE_TWO_PASS)} "
+          f"(deployed: 20 -- conservative on purpose)\n")
+
+    print(f"device DRAM footprints at 2160p offline: "
+          f"MOT {mot_footprint_mib():.0f} MiB, SOT {sot_footprint_mib():.0f} MiB")
+    for mode in (EncodingMode.LOW_LATENCY_ONE_PASS, EncodingMode.OFFLINE_TWO_PASS):
+        req = fleet_dram_requirement(mode)
+        print(f"  {mode.value:24s}: {req.concurrent_streams:5.0f} streams, "
+              f"{req.required_gib:5.0f} GiB needed vs {req.provided_gib_8g:.0f} GiB "
+              f"attached -> fits 8 GiB: {req.fits_8gib}, fits 4 GiB: {req.fits_4gib}")
+
+    print()
+    rows = [
+        [r.use, round(r.logical_cores, 1), round(r.dram_bandwidth_gbps)]
+        for r in host_resource_table(153.0)
+    ]
+    print(format_table(
+        ["Use", "Logical cores", "DRAM Gbps"],
+        rows, title="Table 2: host resources at 153 Gpixel/s",
+    ))
+
+    print("\nNIC sweep: where does the next host generation land?")
+    sweep_rows = []
+    for nic_gbps in (50, 100, 200, 400):
+        host = dataclasses.replace(HostSpec(), network_bandwidth_bits=nic_gbps * 1e9)
+        limit = NetworkBalance(host=host).effective_limit_gpix_s
+        realtime = vcu_ceiling_per_host(EncodingMode.LOW_LATENCY_ONE_PASS, host=host)
+        total = host_resource_table(limit)[-1]
+        sweep_rows.append([
+            f"{nic_gbps} Gbps", round(limit), realtime,
+            round(total.logical_cores), round(total.dram_bandwidth_gbps),
+        ])
+    print(format_table(
+        ["NIC", "Gpixel/s target", "Realtime VCU ceiling", "Host cores needed",
+         "Host DRAM Gbps needed"],
+        sweep_rows,
+    ))
+    print("\nAt 400 Gbps the host itself (cores, memory bandwidth) becomes")
+    print("the binding constraint before the accelerators do -- the kind of")
+    print("balance shift Appendix A is designed to expose early.")
+
+
+if __name__ == "__main__":
+    main()

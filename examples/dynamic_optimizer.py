@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Per-video rate-quality optimization across popularity buckets.
+
+Section 2.1 describes advanced encoding systems that measure per-video
+rate-quality curves at multiple operating points and choose better
+quality/compression trade-offs at extra compute cost; Section 2.2 ties
+the spend to popularity (head videos earn extra passes, the long tail
+gets the cheapest playable encode).
+
+This example measures a *real* rate-quality curve per title with the
+functional codec, reduces it to its convex hull, and picks operating
+points under the three bucket policies.
+
+Run:  python examples/dynamic_optimizer.py   (~1 minute on one core)
+"""
+
+from __future__ import annotations
+
+from repro.codec.optimizer import (
+    convex_hull_points,
+    pick_operating_point,
+    rate_quality_curve,
+)
+from repro.codec.profiles import VCU_VP9
+from repro.metrics import format_table
+from repro.video.content import SyntheticVideo
+from repro.video.vbench import vbench_video
+
+TITLES = ("desktop", "cricket", "holi")
+
+#: Bucket policies: (min PSNR floor, max bitrate cap in Mbps at 1080p).
+POLICIES = {
+    "hot (head)": dict(max_bitrate=40e6),
+    "warm (middle)": dict(min_psnr=38.0),
+    "cold (tail)": dict(min_psnr=34.0),
+}
+
+
+def main() -> None:
+    rows = []
+    for name in TITLES:
+        title = vbench_video(name)
+        video = SyntheticVideo(title.spec, seed=3, proxy_height=54).video(6)
+        curve = rate_quality_curve(video, VCU_VP9, qps=(18, 26, 34, 42, 48))
+        hull = convex_hull_points(curve)
+        print(f"{name}: {len(curve)} operating points measured, "
+              f"{len(hull)} on the convex hull")
+        for policy_name, constraints in POLICIES.items():
+            point = pick_operating_point(hull, **constraints)
+            if point is None:
+                rows.append([name, policy_name, "-", "-", "-"])
+            else:
+                rows.append([
+                    name, policy_name, point.qp,
+                    round(point.psnr, 1), round(point.bitrate / 1e6, 2),
+                ])
+
+    print()
+    print(format_table(
+        ["Title", "Bucket policy", "QP", "PSNR dB", "Mbps"],
+        rows, title="Chosen operating points per popularity bucket (VCU VP9)",
+    ))
+    print("\nHarder content needs more bits to clear the same quality floor,")
+    print("and the tail policy always lands at a cheaper point than the")
+    print("middle one -- the cost structure Section 2.2 describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Failure drill: black-holing, golden screening, and the repair flow.
+
+Reproduces Section 4.4's failure story end to end on a small cluster:
+
+1. inject a silent corruption into one VCU of four,
+2. run the upload workload twice -- once with no mitigations (watch the
+   failing-but-fast device black-hole traffic and corrupt chunks escape),
+   once with integrity checks + golden-task screening,
+3. then run the fleet-level workflow: telemetry sweep, per-VCU disable,
+   and the capped repair queue.
+
+Run:  python examples/failure_drill.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import CpuWorker, TranscodeCluster, VcuWorker
+from repro.failures import FailureManager, FaultInjector, RepairQueue
+from repro.failures.management import blast_radius
+from repro.metrics import format_table
+from repro.sim import Simulator
+from repro.transcode import PopularityBucket, build_transcode_graph
+from repro.vcu.chip import Vcu
+from repro.vcu.host import VcuHost
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+from repro.vcu.telemetry import FaultKind
+from repro.video.frame import resolution
+
+
+def run_cluster(mitigated: bool):
+    sim = Simulator()
+    devices = [Vcu(DEFAULT_VCU_SPEC, vcu_id=f"drill-{mitigated}-{i}") for i in range(4)]
+    devices[0].mark_corrupt()
+    workers = [VcuWorker(v, golden_screening=mitigated) for v in devices]
+    cluster = TranscodeCluster(
+        sim, workers, [CpuWorker(cores=24)],
+        integrity_check_rate=0.95 if mitigated else 0.0, seed=13,
+    )
+    graphs = [
+        build_transcode_graph(f"v{i}", resolution("720p"), 300, 30.0,
+                              bucket=PopularityBucket.WARM)
+        for i in range(10)
+    ]
+    for graph in graphs:
+        cluster.submit(graph)
+    sim.run()
+    processed = [s.processed_by for g in graphs for s in g.transcode_steps()]
+    share = blast_radius(processed, devices[0].vcu_id) / len(processed)
+    return cluster.stats, share
+
+
+def main() -> None:
+    rows = []
+    for mitigated in (False, True):
+        stats, share = run_cluster(mitigated)
+        rows.append([
+            "mitigated" if mitigated else "unmitigated",
+            f"{share:.0%}",
+            stats.corrupt_escaped,
+            stats.corrupt_caught,
+            stats.retries,
+            stats.completed_graphs,
+        ])
+    print(format_table(
+        ["Run", "Traffic to bad VCU", "Corrupt escaped", "Caught", "Retries", "Videos done"],
+        rows, title="Black-holing drill: 1 silently-corrupt VCU out of 4",
+    ))
+
+    print("\nFleet workflow: telemetry sweep -> disable -> capped repair")
+    hosts = [VcuHost() for _ in range(3)]
+    manager = FailureManager(hosts, repair_cap=1)
+    injector_sim = Simulator()
+    FaultInjector(injector_sim, hosts[0].vcus).hard_fault_at(
+        1.0, hosts[0].vcus[2], FaultKind.ECC_UNCORRECTABLE, count=5
+    )
+    injector_sim.run()
+    disabled = manager.sweep()
+    print(f"  sweep disabled: {disabled} "
+          f"(host 0 keeps serving with {len(hosts[0].healthy_vcus())}/20 VCUs)")
+
+    # Escalate host 1 past its component-fault budget.
+    for vcu in hosts[1].vcus[:6]:
+        vcu.telemetry.record(FaultKind.ECC_UNCORRECTABLE, count=5)
+    manager.sweep()
+    print(f"  host 1 unusable: {hosts[1].unusable}; fleet capacity "
+          f"{manager.fleet_capacity_fraction():.0%}")
+
+    queue: RepairQueue = manager.repair_queue
+    queue.start_repairs()
+    for host in list(queue.in_repair):
+        queue.finish_repair(host)
+    print(f"  after repair: fleet capacity {manager.fleet_capacity_fraction():.0%}, "
+          f"hosts repaired: {len(queue.repaired)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Live streaming: why VP9 live needed the VCU (Section 4.5).
+
+Simulates one 1080p live broadcast two ways:
+
+* the software era -- 2-second chunks fanned out over 6 parallel libvpx
+  encoders, each taking ~10 jittery seconds per chunk, and
+* the VCU era -- a single device transcoding the whole MOT ladder in
+  real time with deterministic speed.
+
+Prints per-chunk readiness, the latency each pipeline can guarantee, and
+the Stadia cloud-gaming frame budget check.
+
+Run:  python examples/live_streaming.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import format_table
+from repro.workloads.gaming import GamingSession, gaming_latency_ms, meets_frame_budget
+from repro.workloads.live import (
+    LiveStream,
+    end_to_end_latency_seconds,
+    simulate_live_stream,
+)
+
+
+def main() -> None:
+    stream = LiveStream("demo", chunk_seconds=2.0)
+    duration = 120.0
+
+    software = simulate_live_stream(stream, duration, use_vcu=False, seed=7)
+    hardware = simulate_live_stream(stream, duration, use_vcu=True)
+
+    rows = []
+    for name, results in (("software x6", software), ("single VCU", hardware)):
+        encode_times = [r.encode_seconds for r in results]
+        lateness = [
+            r.ready_at - (r.chunk_index + 1) * stream.chunk_seconds for r in results
+        ]
+        rows.append([
+            name,
+            round(float(np.mean(encode_times)), 2),
+            round(float(np.std(encode_times)), 3),
+            round(float(np.percentile(lateness, 99)), 2),
+            round(end_to_end_latency_seconds(results, stream.chunk_seconds), 1),
+        ])
+    print(format_table(
+        ["Pipeline", "Encode s/chunk", "Jitter (std)", "p99 backlog s",
+         "Camera-to-eyeball s"],
+        rows,
+        title="Live VP9 1080p broadcast: chunk-parallel software vs one VCU",
+    ))
+
+    print("\nThe software pipeline only keeps up by deepening the buffer,")
+    print("so its end-to-end latency balloons; the VCU's consistent")
+    print("hardware speed is what makes the ~5-second stream affordable.\n")
+
+    session = GamingSession()  # Stadia: 4K60 VP9 at 35 Mbps
+    vcu_ms = gaming_latency_ms(session, use_vcu=True)
+    sw_ms = gaming_latency_ms(session, use_vcu=False)
+    print(f"Stadia check (4K60, {session.bitrate_mbps:.0f} Mbps, budget "
+          f"{session.frame_budget_ms:.1f} ms/frame):")
+    print(f"  VCU low-latency two-pass VP9: {vcu_ms:5.1f} ms/frame "
+          f"-> {'MEETS' if meets_frame_budget(session, True) else 'misses'} budget")
+    print(f"  software realtime VP9:        {sw_ms:5.0f} ms/frame "
+          f"-> {'meets' if meets_frame_budget(session, False) else 'MISSES'} budget")
+
+
+if __name__ == "__main__":
+    main()

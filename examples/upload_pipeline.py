@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Upload pipeline: a day in the life of a (scaled-down) VCU cluster.
+
+Builds a cluster of VCU workers plus legacy CPU machines, submits a
+stream of synthetic uploads (production-like resolution mix and
+stretched-power-law popularity), and reports what the warehouse operator
+would watch: per-VCU throughput, dimension utilizations, queue depth,
+graph latency percentiles, and the MOT-vs-SOT comparison of Figure 8.
+
+Run:  python examples/upload_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import CpuWorker, TranscodeCluster, VcuWorker
+from repro.metrics import format_table
+from repro.sim import Simulator
+from repro.vcu.chip import Vcu
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+from repro.workloads.upload import UploadGenerator
+
+VCUS = 4
+HORIZON = 60.0
+
+
+def run(use_mot: bool, seed: int = 42):
+    sim = Simulator()
+    workers = [
+        VcuWorker(
+            Vcu(DEFAULT_VCU_SPEC, vcu_id=f"ex-{use_mot}-{i}"),
+            target_speedup=5.0 if use_mot else 2.5,
+        )
+        for i in range(VCUS)
+    ]
+    cluster = TranscodeCluster(sim, workers, [CpuWorker(cores=24)], seed=seed)
+    generator = UploadGenerator(
+        arrivals_per_second=0.1 * VCUS, seed=seed, mean_duration_seconds=30.0
+    )
+    submitted = 0
+    for video in generator.videos(until=HORIZON):
+        graph = generator.to_graph(video, use_mot=use_mot)
+        sim.call_at(video.arrival_time, lambda g=graph: cluster.submit(g))
+        submitted += 1
+    end = sim.run(until=HORIZON)
+    return cluster, submitted, end
+
+
+def main() -> None:
+    rows = []
+    for use_mot in (True, False):
+        cluster, submitted, end = run(use_mot)
+        stats = cluster.stats
+        per_vcu = stats.per_vcu_mpix_per_second(end, VCUS)
+        latencies = stats.graph_latencies or [float("nan")]
+        rows.append([
+            "MOT" if use_mot else "SOT",
+            submitted,
+            stats.completed_graphs,
+            round(per_vcu),
+            round(cluster.encoder_util.average(end), 2),
+            round(cluster.decoder_util.average(end), 2),
+            round(float(np.median(latencies)), 1),
+            cluster.pending_count,
+        ])
+
+    print(format_table(
+        ["Mode", "Videos in", "Videos done", "Mpix/s per VCU",
+         "Enc util", "Dec util", "Median latency s", "Still queued"],
+        rows,
+        title=f"Upload pipeline on {VCUS} VCUs, {HORIZON:.0f}s horizon "
+              "(Figure 8's MOT-vs-SOT in miniature)",
+    ))
+    print("\nMOT decodes each chunk once for the whole output ladder; SOT")
+    print("re-decodes per output variant, which is why its per-VCU Mpix/s")
+    print("is so much lower on the same hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so `python setup.py develop` works in offline
+environments that lack the `wheel` package required by PEP 517 editable
+installs (`pip install -e .` uses this path too when wheel is available).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro: a reproduction of "Warehouse-Scale Video Acceleration" (ASPLOS '21).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` -- discrete-event simulation substrate.
+* :mod:`repro.video` -- frames, resolutions, synthetic content, vbench.
+* :mod:`repro.codec` -- a functional block-based video codec with the four
+  encoder profiles of Figure 7.
+* :mod:`repro.vcu` -- the VCU accelerator model (cores, memory, firmware,
+  chips, hosts).
+* :mod:`repro.baselines` -- the Skylake CPU and Nvidia T4 GPU baselines.
+* :mod:`repro.transcode` -- SOT/MOT pipelines, ladders, step graphs.
+* :mod:`repro.cluster` -- workers, bin-packing scheduler, pools, cluster.
+* :mod:`repro.failures` -- fault injection and fleet failure management.
+* :mod:`repro.workloads` -- upload/live/gaming workload generators.
+* :mod:`repro.tco` -- cost and power models.
+* :mod:`repro.metrics` -- PSNR, BD-rate, Mpix/s, reporting.
+* :mod:`repro.balance` -- Appendix A system-balance analysis.
+
+Quick start::
+
+    from repro import encode_video, LIBVPX, vbench_video, materialize
+    video = materialize(vbench_video("desktop"), frame_count=8)
+    chunk = encode_video(video, LIBVPX, qp=32)
+    print(chunk.psnr, chunk.bitrate_bps)
+"""
+
+from repro.codec import (
+    ALL_PROFILES,
+    LIBVPX,
+    LIBX264,
+    VCU_H264,
+    VCU_VP9,
+    Encoder,
+    EncoderProfile,
+    encode_video,
+    tuned_profile,
+)
+from repro.metrics import RDPoint, bd_rate, format_table
+from repro.sim import Simulator
+from repro.vcu import DEFAULT_VCU_SPEC, EncodingMode, Vcu, VcuHost, VcuSpec
+from repro.video import RawVideo, Resolution, resolution
+from repro.video.vbench import VBENCH_SUITE, materialize, vbench_video
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Encoder",
+    "EncoderProfile",
+    "encode_video",
+    "tuned_profile",
+    "LIBX264",
+    "LIBVPX",
+    "VCU_H264",
+    "VCU_VP9",
+    "ALL_PROFILES",
+    "RDPoint",
+    "bd_rate",
+    "format_table",
+    "Simulator",
+    "Vcu",
+    "VcuHost",
+    "VcuSpec",
+    "EncodingMode",
+    "DEFAULT_VCU_SPEC",
+    "Resolution",
+    "resolution",
+    "RawVideo",
+    "VBENCH_SUITE",
+    "vbench_video",
+    "materialize",
+]

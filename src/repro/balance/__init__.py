@@ -1,0 +1,21 @@
+"""System-balance analysis (Appendix A) as executable models."""
+
+from repro.balance.analysis import (
+    NetworkBalance,
+    network_transcode_limit_gpix_s,
+    vcu_ceiling_per_host,
+)
+from repro.balance.dram import fleet_dram_requirement, mot_footprint_mib, sot_footprint_mib
+from repro.balance.host import HOST_RESOURCE_ROWS, HostResourceRow, host_resource_table
+
+__all__ = [
+    "NetworkBalance",
+    "network_transcode_limit_gpix_s",
+    "vcu_ceiling_per_host",
+    "sot_footprint_mib",
+    "mot_footprint_mib",
+    "fleet_dram_requirement",
+    "HostResourceRow",
+    "HOST_RESOURCE_ROWS",
+    "host_resource_table",
+]

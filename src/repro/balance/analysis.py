@@ -1,0 +1,65 @@
+"""Appendix A.2 / A.5: network-bound throughput and VCU attachment limits.
+
+The 100 Gbps NIC is the primary constraint on an accelerator host's
+transcoding throughput.  At YouTube's recommended upload bitrates the
+fleet averages ~6.1 pixels per bit, giving ~600 Gpixel/s of raw network
+transcoding limit; allowing 2x the ideal upload bitrates and 50% headroom
+for RPC overheads and unrelated traffic leaves ~153 Gpixel/s per host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vcu.spec import EncodingMode, HostSpec, VcuSpec
+
+
+@dataclass(frozen=True)
+class NetworkBalance:
+    """The Appendix A.2 derivation, step by step."""
+
+    host: HostSpec = HostSpec()
+    #: Fleet-average compression density at recommended upload bitrates.
+    pixels_per_bit: float = 6.1
+    #: Real uploads can run up to double the recommended bitrates.
+    bitrate_headroom: float = 2.0
+    #: RPC overheads and unrelated traffic can take up to half the NIC.
+    traffic_overhead: float = 0.5
+
+    @property
+    def raw_limit_gpix_s(self) -> float:
+        """Network transcoding limit with ideal upload bitrates (~600)."""
+        return self.host.network_bandwidth_bits * self.pixels_per_bit / 1e9
+
+    @property
+    def effective_limit_gpix_s(self) -> float:
+        """The provisioning target after headroom (~153 Gpixel/s)."""
+        return self.raw_limit_gpix_s * (1.0 - self.traffic_overhead) / self.bitrate_headroom
+
+    def pcie_control_gbps(self, frame_rate_per_second: float) -> float:
+        """Non-video PCIe traffic: <4 KiB per frame, each direction."""
+        return frame_rate_per_second * 4 * 1024 * 8 / 1e9
+
+
+def network_transcode_limit_gpix_s(host: HostSpec = None) -> float:
+    """Effective per-host limit (~153 Gpixel/s)."""
+    return NetworkBalance(host=host or HostSpec()).effective_limit_gpix_s
+
+
+def vcu_ceiling_per_host(
+    mode: EncodingMode,
+    spec: VcuSpec = None,
+    host: HostSpec = None,
+    codec: str = "h264",
+) -> int:
+    """VCUs one host's network limit can keep busy in a given mode.
+
+    Realtime: ~0.5 Gpixel/s per encoder core -> 5 Gpixel/s per VCU ->
+    ~30 VCUs.  Offline two-pass cores run ~6.7x slower, so the ceiling is
+    correspondingly higher (the paper quotes 150 with its rounder 5x
+    slowdown figure; our Table 1-calibrated 6.7x gives ~205).
+    """
+    spec = spec or VcuSpec()
+    limit = network_transcode_limit_gpix_s(host) * 1e9
+    per_vcu = spec.encoder_cores * spec.encode_rate(codec, mode)
+    return int(limit // per_vcu)

@@ -1,0 +1,117 @@
+"""Appendix A.4: VCU DRAM capacity requirements.
+
+The footprints reuse the task-level model from :mod:`repro.vcu.chip`
+(reference frames for decode and every encode, the two-pass lag window,
+padding and ephemeral buffers).  The fleet-level question the appendix
+answers: does 8 GiB per VCU suffice at the host's network-bound
+throughput target?  (Yes -- and 4 GiB would not.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.balance.analysis import network_transcode_limit_gpix_s
+from repro.vcu.chip import VcuTask, dram_footprint_bytes
+from repro.vcu.spec import EncodingMode, VcuSpec
+from repro.video.frame import Resolution, output_ladder, resolution
+
+MiB = 1024**2
+GiB = 1024**3
+
+
+def sot_footprint_mib(
+    source: Optional[Resolution] = None,
+    mode: EncodingMode = EncodingMode.OFFLINE_TWO_PASS,
+    spec: VcuSpec = None,
+) -> float:
+    """Device DRAM for one SOT (paper: ~500 MiB at 2160p offline)."""
+    source = source or resolution("2160p")
+    task = VcuTask(
+        codec="vp9",
+        mode=mode,
+        input_resolution=source,
+        outputs=[source],
+        frame_count=150,
+        fps=30,
+        is_mot=False,
+    )
+    return dram_footprint_bytes(task, spec or VcuSpec()) / MiB
+
+
+def mot_footprint_mib(
+    source: Optional[Resolution] = None,
+    mode: EncodingMode = EncodingMode.OFFLINE_TWO_PASS,
+    spec: VcuSpec = None,
+) -> float:
+    """Device DRAM for one full-ladder MOT (paper: ~700 MiB at 2160p)."""
+    source = source or resolution("2160p")
+    task = VcuTask(
+        codec="vp9",
+        mode=mode,
+        input_resolution=source,
+        outputs=output_ladder(source),
+        frame_count=150,
+        fps=30,
+        is_mot=True,
+    )
+    return dram_footprint_bytes(task, spec or VcuSpec()) / MiB
+
+
+@dataclass(frozen=True)
+class FleetDramRequirement:
+    """Worst-case fleet DRAM need vs what the attached VCUs provide."""
+
+    mode: EncodingMode
+    concurrent_streams: float
+    required_gib: float
+    vcus_needed: int
+    provided_gib_8g: float
+    provided_gib_4g: float
+
+    @property
+    def fits_8gib(self) -> bool:
+        return self.required_gib <= self.provided_gib_8g
+
+    @property
+    def fits_4gib(self) -> bool:
+        return self.required_gib <= self.provided_gib_4g
+
+
+def fleet_dram_requirement(
+    mode: EncodingMode,
+    spec: VcuSpec = None,
+    use_mot: bool = False,
+) -> FleetDramRequirement:
+    """Size device DRAM at the host's 153 Gpixel/s network limit.
+
+    Each stream runs on one encoder core; slower modes need more
+    concurrent streams (each holding a footprint) for the same pixel
+    throughput, which is why offline two-pass dominates the capacity
+    requirement.  MOT reduces the per-output-pixel footprint ~25% by
+    reusing decoded frames across outputs.
+    """
+    spec = spec or VcuSpec()
+    target_pix_s = network_transcode_limit_gpix_s() * 1e9
+    per_stream_rate = spec.encode_rate("vp9", mode)
+    source = resolution("2160p")
+    if use_mot:
+        footprint = mot_footprint_mib(source, mode, spec) * MiB
+        outputs_px = sum(r.pixels for r in output_ladder(source))
+        streams = target_pix_s / (per_stream_rate * outputs_px / source.pixels)
+    else:
+        footprint = sot_footprint_mib(source, mode, spec) * MiB
+        streams = target_pix_s / per_stream_rate
+    required = streams * footprint
+    vcus_needed = max(
+        1, int(-(-target_pix_s // (spec.encoder_cores * per_stream_rate)))
+    )
+    return FleetDramRequirement(
+        mode=mode,
+        concurrent_streams=streams,
+        required_gib=required / GiB,
+        vcus_needed=vcus_needed,
+        provided_gib_8g=vcus_needed * 8.0,
+        provided_gib_4g=vcus_needed * 4.0,
+    )

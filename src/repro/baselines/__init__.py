@@ -1,0 +1,14 @@
+"""Baseline system models: the dual-socket Skylake and the 4x Nvidia T4.
+
+These are the comparison points of Table 1.  Neither machine is available
+here, so each is an analytic throughput model anchored to the paper's
+measurements (Skylake: 714 / 154 Mpix/s for H.264 / VP9 offline two-pass
+SOT; T4: 621 Mpix/s H.264 per card, no VP9 encode) with resolution
+scaling calibrated to the paper's secondary anchors (a 150-frame 2160p
+VP9 chunk costs over a CPU-hour, Section 4.5).
+"""
+
+from repro.baselines.cpu import SkylakeSystem
+from repro.baselines.gpu import GpuSystem
+
+__all__ = ["SkylakeSystem", "GpuSystem"]

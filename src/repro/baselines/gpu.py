@@ -1,0 +1,43 @@
+"""The GPU baseline: 4x Nvidia T4 in the dual-socket host.
+
+The T4's NVENC block encodes H.264 (and decodes VP9) but has no VP9
+*encoder*, and its quality tops out around libx264's medium preset
+(Section 5), so the paper treats it as a throughput-only alternative.
+Per-card throughput is anchored to Table 1 (2,484 Mpix/s across 4 cards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.video.frame import Resolution
+
+
+@dataclass(frozen=True)
+class GpuSystem:
+    """A host with ``cards`` Nvidia T4 accelerators."""
+
+    cards: int = 4
+    #: Offline SOT H.264 throughput per card, Mpix/s (Table 1 / 4).
+    h264_mpix_s_per_card: float = 621.0
+    #: NVENC quality relative to libx264: BD-rate penalty versus the
+    #: medium preset (commodity encoders compare to superfast..medium).
+    bd_rate_penalty_vs_libx264: float = 25.0
+
+    def machine_throughput(self, codec: str, res: Optional[Resolution] = None) -> float:
+        """Mpix/s for the whole system; VP9 encoding is unsupported."""
+        if codec == "h264":
+            return self.h264_mpix_s_per_card * self.cards
+        if codec == "vp9":
+            raise ValueError("the T4 has no VP9 encoder (Table 1 dash)")
+        raise ValueError(f"unknown codec {codec!r}")
+
+    def supports(self, codec: str) -> bool:
+        return codec == "h264"
+
+    def mot_supported(self) -> bool:
+        """The GPU software stack used in the comparison had no MOT path
+        (Section 4.1: "our production workload is largely MOT, which was
+        not supported on our GPU baseline")."""
+        return False

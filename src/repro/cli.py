@@ -1,0 +1,207 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``repro-bench <command>`` (or ``python -m repro.cli <command>``) exposes
+the fast analytic experiments directly; the full benchmark suite stays in
+``pytest benchmarks/``.
+
+Commands:
+    table1      Table 1 throughput + perf/TCO rows
+    table2      Table 2 host-resource rows
+    balance     Appendix A network & DRAM sizing
+    bdrate      BD-rate sweep on a title subset (real encodes; slow-ish)
+    timeline    Figure 9a/9c deployment-timeline replay
+    live        Section 4.5 live-latency comparison
+    gaming      Section 4.5 Stadia frame-budget check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.baselines import GpuSystem, SkylakeSystem
+    from repro.metrics import format_table
+    from repro.tco import SKYLAKE_COST, T4_SYSTEM_COST, VCU_SYSTEM_8, VCU_SYSTEM_20, perf_per_tco
+    from repro.vcu.spec import DEFAULT_VCU_SPEC
+    from repro.vcu.throughput import vbench_sot_system_throughput
+
+    cpu, gpu = SkylakeSystem(), GpuSystem()
+    rows = []
+    for name, cost, get in (
+        ("Skylake", SKYLAKE_COST, lambda c: cpu.machine_throughput(c)),
+        ("4xNvidia T4", T4_SYSTEM_COST,
+         lambda c: gpu.machine_throughput(c) if gpu.supports(c) else None),
+        ("8xVCU", VCU_SYSTEM_8,
+         lambda c: vbench_sot_system_throughput(DEFAULT_VCU_SPEC, c, 8)),
+        ("20xVCU", VCU_SYSTEM_20,
+         lambda c: vbench_sot_system_throughput(DEFAULT_VCU_SPEC, c, 20)),
+    ):
+        row = [name]
+        for codec in ("h264", "vp9"):
+            throughput = get(codec)
+            if throughput is None:
+                row += ["-", "-"]
+            else:
+                base = cpu.machine_throughput(codec)
+                row += [round(throughput), round(perf_per_tco(throughput, cost, base), 1)]
+        rows.append(row)
+    print(format_table(
+        ["System", "H.264 Mpix/s", "H.264 perf/TCO", "VP9 Mpix/s", "VP9 perf/TCO"],
+        rows, title="Table 1 (offline two-pass SOT)",
+    ))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.balance import host_resource_table
+    from repro.metrics import format_table
+
+    rows = [
+        [r.use, round(r.logical_cores, 1), round(r.dram_bandwidth_gbps)]
+        for r in host_resource_table(args.gpix)
+    ]
+    print(format_table(
+        ["Use", "Logical cores", "DRAM Gbps"], rows,
+        title=f"Table 2 at {args.gpix:g} Gpixel/s",
+    ))
+
+
+def _cmd_balance(args: argparse.Namespace) -> None:
+    from repro.balance import (
+        NetworkBalance,
+        fleet_dram_requirement,
+        mot_footprint_mib,
+        sot_footprint_mib,
+        vcu_ceiling_per_host,
+    )
+    from repro.vcu.spec import EncodingMode
+
+    nb = NetworkBalance()
+    print(f"network limit: raw {nb.raw_limit_gpix_s:.0f} Gpixel/s, "
+          f"effective {nb.effective_limit_gpix_s:.0f} Gpixel/s per host")
+    print(f"VCU ceilings: realtime "
+          f"{vcu_ceiling_per_host(EncodingMode.LOW_LATENCY_ONE_PASS)}, "
+          f"offline {vcu_ceiling_per_host(EncodingMode.OFFLINE_TWO_PASS)}")
+    print(f"2160p footprints: MOT {mot_footprint_mib():.0f} MiB, "
+          f"SOT {sot_footprint_mib():.0f} MiB")
+    for mode in (EncodingMode.LOW_LATENCY_ONE_PASS, EncodingMode.OFFLINE_TWO_PASS):
+        req = fleet_dram_requirement(mode)
+        print(f"  {mode.value}: needs {req.required_gib:.0f} GiB, "
+              f"8 GiB/VCU provides {req.provided_gib_8g:.0f} GiB "
+              f"(fits: {req.fits_8gib}; 4 GiB would fit: {req.fits_4gib})")
+
+
+def _cmd_bdrate(args: argparse.Namespace) -> None:
+    from repro.harness.rd import suite_bd_rates, suite_rd_curves
+    from repro.metrics import format_table
+    from repro.video.vbench import vbench_video
+
+    titles = [vbench_video(name) for name in args.titles.split(",")]
+    curves = suite_rd_curves(
+        titles=titles, frame_count=args.frames, proxy_height=args.proxy_height
+    )
+    summary = suite_bd_rates(curves)
+    print(format_table(
+        ["Comparison", "BD-rate %", "Paper"],
+        [
+            ["VCU-VP9 vs libx264", round(summary.vcu_vp9_vs_libx264, 1), "~-30"],
+            ["VCU-H264 vs libx264", round(summary.vcu_h264_vs_libx264, 1), "~+11.5"],
+            ["VCU-VP9 vs libvpx", round(summary.vcu_vp9_vs_libvpx, 1), "~+18"],
+        ],
+        title=f"BD-rates on: {args.titles}",
+    ))
+
+
+def _cmd_timeline(args: argparse.Namespace) -> None:
+    from repro.cluster.timeline import run_timeline
+    from repro.metrics import format_table
+
+    results = run_timeline(args.months, seed=args.seed, horizon_seconds=args.horizon)
+    base = results[0].throughput_mpix_s or 1.0
+    print(format_table(
+        ["Month", "Normalized throughput", "Decoder util", "VCU workers"],
+        [[r.month, round(r.throughput_mpix_s / base, 2),
+          round(r.decoder_utilization, 2), r.vcu_workers] for r in results],
+        title="Figure 9a/9c deployment timeline",
+    ))
+
+
+def _cmd_live(args: argparse.Namespace) -> None:
+    from repro.workloads.live import (
+        LiveStream,
+        end_to_end_latency_seconds,
+        simulate_live_stream,
+    )
+
+    stream = LiveStream("cli")
+    for name, use_vcu in (("software", False), ("VCU", True)):
+        results = simulate_live_stream(stream, args.duration, use_vcu=use_vcu, seed=1)
+        latency = end_to_end_latency_seconds(results, stream.chunk_seconds)
+        print(f"{name:8s}: end-to-end latency {latency:5.1f} s")
+
+
+def _cmd_gaming(args: argparse.Namespace) -> None:
+    from repro.workloads.gaming import GamingSession, gaming_latency_ms, meets_frame_budget
+
+    session = GamingSession(resolution_name=args.resolution, fps=args.fps)
+    for name, use_vcu in (("VCU", True), ("software", False)):
+        ms = gaming_latency_ms(session, use_vcu=use_vcu)
+        verdict = "meets" if meets_frame_budget(session, use_vcu) else "MISSES"
+        print(f"{name:8s}: {ms:6.1f} ms/frame ({verdict} the "
+              f"{session.frame_budget_ms:.1f} ms budget)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run experiments from the warehouse-scale video "
+                    "acceleration reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1 throughput & perf/TCO").set_defaults(
+        func=_cmd_table1
+    )
+
+    table2 = sub.add_parser("table2", help="Table 2 host resources")
+    table2.add_argument("--gpix", type=float, default=153.0)
+    table2.set_defaults(func=_cmd_table2)
+
+    sub.add_parser("balance", help="Appendix A balance analysis").set_defaults(
+        func=_cmd_balance
+    )
+
+    bdrate = sub.add_parser("bdrate", help="BD-rate sweep (real encodes)")
+    bdrate.add_argument("--titles", default="desktop,house,holi")
+    bdrate.add_argument("--frames", type=int, default=6)
+    bdrate.add_argument("--proxy-height", type=int, default=54)
+    bdrate.set_defaults(func=_cmd_bdrate)
+
+    timeline = sub.add_parser("timeline", help="Figure 9 deployment replay")
+    timeline.add_argument("--months", type=int, default=12)
+    timeline.add_argument("--seed", type=int, default=5)
+    timeline.add_argument("--horizon", type=float, default=60.0)
+    timeline.set_defaults(func=_cmd_timeline)
+
+    live = sub.add_parser("live", help="live-latency comparison")
+    live.add_argument("--duration", type=float, default=120.0)
+    live.set_defaults(func=_cmd_live)
+
+    gaming = sub.add_parser("gaming", help="Stadia frame-budget check")
+    gaming.add_argument("--resolution", default="2160p")
+    gaming.add_argument("--fps", type=float, default=60.0)
+    gaming.set_defaults(func=_cmd_gaming)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The warehouse-scale cluster substrate: workers, schedulers, pools.
+
+This package is the distributed-systems half of the co-design: a
+discrete-event cluster of VCU hosts and CPU machines, logical pools per
+(use case, priority), a global work queue of step graphs, and the
+paper's multi-dimensional bin-packing scheduler (Section 3.3.3) next to
+the legacy single-slot scheduler it replaced.
+"""
+
+from repro.cluster.worker import CpuWorker, VcuWorker, Worker
+from repro.cluster.scheduler import (
+    BinPackingScheduler,
+    SchedulerProtocol,
+    SingleSlotScheduler,
+)
+from repro.cluster.pool import Pool, PoolKey, Priority, UseCase
+from repro.cluster.metrics import UtilizationTracker
+from repro.cluster.cluster import ClusterStats, TranscodeCluster
+
+__all__ = [
+    "Worker",
+    "VcuWorker",
+    "CpuWorker",
+    "BinPackingScheduler",
+    "SingleSlotScheduler",
+    "SchedulerProtocol",
+    "Pool",
+    "PoolKey",
+    "UseCase",
+    "Priority",
+    "UtilizationTracker",
+    "TranscodeCluster",
+    "ClusterStats",
+]

@@ -1,0 +1,102 @@
+"""Worker autoscaling by workload-mix demand (Section 3.3.3).
+
+"Another part of the scheduler sizes the workers based on workload mix
+demand": pools grow when their backlog-per-worker rises, shrink when
+workers idle, and the cluster-wide VCU budget is conserved.  A simple
+hysteresis controller avoids flapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.pool import Pool, PoolKey
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Controller thresholds."""
+
+    #: Grow a pool when pending steps per worker exceed this.
+    scale_up_pressure: float = 4.0
+    #: Shrink when pressure falls below this (hysteresis band).
+    scale_down_pressure: float = 0.5
+    #: Workers moved per decision (small steps avoid oscillation).
+    workers_per_step: int = 1
+    #: Every pool keeps at least this many workers.
+    min_workers: int = 1
+
+
+@dataclass
+class ScalingAction:
+    """One rebalancing decision, for operator visibility."""
+
+    from_pool: PoolKey
+    to_pool: PoolKey
+    workers: int
+
+
+class Autoscaler:
+    """Moves workers between pools to track demand, conserving the fleet."""
+
+    def __init__(self, pools: Dict[PoolKey, Pool], config: AutoscaleConfig = None):
+        if not pools:
+            raise ValueError("need at least one pool")
+        self.pools = pools
+        self.config = config or AutoscaleConfig()
+        self.history: List[ScalingAction] = []
+
+    def _donors(self) -> List[Pool]:
+        """Pools with slack, most idle first; priority pools donate last."""
+        config = self.config
+        donors = [
+            pool for pool in self.pools.values()
+            if pool.demand_pressure() < config.scale_down_pressure
+            and len(pool.workers) > config.min_workers
+            and pool.idle_workers()
+        ]
+        return sorted(
+            donors,
+            key=lambda p: (-p.key.priority, p.demand_pressure()),
+        )
+
+    def _needy(self) -> List[Pool]:
+        """Pools over pressure, most critical and most pressured first."""
+        needy = [
+            pool for pool in self.pools.values()
+            if pool.demand_pressure() > self.config.scale_up_pressure
+        ]
+        return sorted(needy, key=lambda p: (p.key.priority, -p.demand_pressure()))
+
+    def step(self) -> List[ScalingAction]:
+        """One controller tick; returns the actions taken."""
+        actions: List[ScalingAction] = []
+        for pool in self._needy():
+            for donor in self._donors():
+                if donor.key == pool.key:
+                    continue
+                moved = 0
+                idle = donor.idle_workers()
+                while (
+                    moved < self.config.workers_per_step
+                    and idle
+                    and len(donor.workers) > self.config.min_workers
+                ):
+                    worker = idle.pop()
+                    donor.workers.remove(worker)
+                    pool.workers.append(worker)
+                    worker.pool_key = pool.key
+                    moved += 1
+                if moved:
+                    action = ScalingAction(
+                        from_pool=donor.key, to_pool=pool.key, workers=moved
+                    )
+                    actions.append(action)
+                    self.history.append(action)
+                if pool.demand_pressure() <= self.config.scale_up_pressure:
+                    break
+        return actions
+
+    def total_workers(self) -> int:
+        return sum(len(pool.workers) for pool in self.pools.values())

@@ -1,0 +1,300 @@
+"""The transcoding cluster: work queue, placement, execution, retries.
+
+This ties the pieces together on the discrete-event engine: step graphs
+are submitted to a global work queue, ready steps are placed by the
+scheduler onto VCU or CPU workers, execution holds the granted resource
+vector for the step's modelled duration, and completions unblock
+dependents.  Failure handling follows Section 4.4: integrity checks catch
+most corrupt output, failed steps retry on *different* VCUs (fault
+correlation via the recorded VCU id), and hardware failures quarantine the
+worker; steps that exhaust hardware retries fall back to software
+transcoding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.metrics import ThroughputWindow, UtilizationTracker
+from repro.cluster.scheduler import BinPackingScheduler, SingleSlotScheduler
+from repro.cluster.worker import CpuWorker, VcuWorker
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedLike, make_rng
+from repro.transcode.pipeline import Step, StepGraph
+
+
+@dataclass
+class ClusterStats:
+    """Counters and time-series the benchmarks read out."""
+
+    completed_steps: int = 0
+    failed_placements: int = 0
+    retries: int = 0
+    software_fallbacks: int = 0
+    corrupt_caught: int = 0
+    corrupt_escaped: int = 0
+    completed_graphs: int = 0
+    throughput: ThroughputWindow = field(default_factory=ThroughputWindow)
+    per_vcu_megapixels: Dict[str, float] = field(default_factory=dict)
+    graph_latencies: List[float] = field(default_factory=list)
+
+    def per_vcu_mpix_per_second(self, now: float, vcu_count: int) -> float:
+        span = now - self.throughput.start_time
+        if span <= 0 or vcu_count == 0:
+            return 0.0
+        return self.throughput.total_megapixels / span / vcu_count
+
+
+class TranscodeCluster:
+    """A cluster of VCU and CPU workers executing step graphs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vcu_workers: Sequence[VcuWorker],
+        cpu_workers: Sequence[CpuWorker] = (),
+        use_bin_packing: bool = True,
+        legacy_slots: int = 4,
+        integrity_check_rate: float = 0.95,
+        max_hardware_attempts: int = 3,
+        software_fallback: bool = True,
+        seed: SeedLike = 0,
+    ):
+        if not 0.0 <= integrity_check_rate <= 1.0:
+            raise ValueError("integrity_check_rate must be in [0, 1]")
+        self.sim = sim
+        self.vcu_workers = list(vcu_workers)
+        self.cpu_workers = list(cpu_workers)
+        if use_bin_packing:
+            self.vcu_scheduler = BinPackingScheduler(self.vcu_workers)
+        else:
+            self.vcu_scheduler = SingleSlotScheduler(
+                self.vcu_workers, slots_per_worker=legacy_slots
+            )
+        self.cpu_scheduler = BinPackingScheduler(self.cpu_workers)
+        self.integrity_check_rate = integrity_check_rate
+        self.max_hardware_attempts = max_hardware_attempts
+        self.software_fallback = software_fallback
+        self.stats = ClusterStats(throughput=ThroughputWindow(start_time=sim.now))
+        self._rng = make_rng(seed)
+        self._pending: Deque[Tuple[Step, Set[str]]] = deque()
+        self._graphs: List[StepGraph] = []
+        self._remaining_deps: Dict[int, int] = {}
+        self._dependents: Dict[int, List[Step]] = {}
+        self._done: Set[int] = set()
+        self._graph_of: Dict[int, StepGraph] = {}
+        self._graph_remaining: Dict[int, int] = {}
+        self.encoder_util = UtilizationTracker(sim.now)
+        self.decoder_util = UtilizationTracker(sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+
+    def submit(self, graph: StepGraph) -> None:
+        """Register a step graph; its ready steps enter the work queue."""
+        graph.submitted_at = self.sim.now
+        self._graphs.append(graph)
+        self._graph_remaining[id(graph)] = len(graph.steps)
+        for step in graph.steps:
+            self._graph_of[id(step)] = graph
+            self._remaining_deps[id(step)] = len(step.depends_on)
+            for dep in step.depends_on:
+                self._dependents.setdefault(id(dep), []).append(step)
+        for step in graph.steps:
+            if not step.depends_on:
+                self._enqueue(step, set())
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Placement
+
+    def _enqueue(self, step: Step, excluded: Set[str]) -> None:
+        if not self._try_place(step, excluded):
+            self._pending.append((step, excluded))
+
+    def _drain_pending(self) -> None:
+        # Head-of-line blocking per lane: once a step of some shape fails
+        # to place, later same-shaped steps in the FIFO will not fit
+        # either, so skip them this round instead of probing every worker
+        # again.  Hardware-decode and software-decode transcodes have
+        # different shapes (millidecode vs host_decode), hence the lanes.
+        still_waiting: Deque[Tuple[Step, Set[str]]] = deque()
+        blocked = {"hw": False, "hw_swdec": False, "cpu": False}
+        while self._pending:
+            step, excluded = self._pending.popleft()
+            if step.is_transcode() and not step.software_only:
+                lane = "hw_swdec" if step.vcu_task.software_decode else "hw"
+            else:
+                lane = "cpu"
+            if blocked[lane]:
+                still_waiting.append((step, excluded))
+                continue
+            if not self._try_place(step, excluded):
+                still_waiting.append((step, excluded))
+                blocked[lane] = True
+        self._pending = still_waiting
+
+    def _try_place(self, step: Step, excluded: Set[str]) -> bool:
+        if step.is_transcode():
+            return self._place_transcode(step, excluded)
+        return self._place_cpu(step)
+
+    def _place_transcode(self, step: Step, excluded: Set[str]) -> bool:
+        task = step.vcu_task
+        usable = [w for w in self.vcu_workers if w.available() and w.name not in excluded]
+        hardware_exhausted = (
+            step.software_only
+            or step.attempts >= self.max_hardware_attempts
+            or not usable
+        )
+        if not hardware_exhausted:
+            # Request shape depends on the target worker type only through
+            # the spec, identical across the fleet; probe with any worker.
+            if self.vcu_workers:
+                request = self.vcu_workers[0].request_for(task)
+                worker = self.vcu_scheduler.place(request, excluded=excluded)
+                if worker is not None:
+                    self._start_vcu_step(step, worker, request, excluded)
+                    return True
+            self.stats.failed_placements += 1
+            if not self.software_fallback:
+                return False
+            return False  # wait for a VCU to free up
+        if self.software_fallback and self.cpu_workers:
+            request = self.cpu_workers[0].request_for_transcode(task)
+            worker = self.cpu_scheduler.place(request)
+            if worker is not None:
+                self.stats.software_fallbacks += 1
+                self._start_cpu_transcode(step, worker, request)
+                return True
+        return False
+
+    def _place_cpu(self, step: Step) -> bool:
+        if not self.cpu_workers:
+            # Clusters simulated without CPU machines: treat CPU steps as
+            # instantaneous bookkeeping so transcode studies stay focused.
+            self.sim.call_in(0.0, lambda: self._complete(step, corrupt=False))
+            return True
+        request = self.cpu_workers[0].request_for_cpu_step(step.cpu_core_seconds)
+        worker = self.cpu_scheduler.place(request)
+        if worker is None:
+            return False
+        duration = worker.cpu_step_seconds(step.cpu_core_seconds, request)
+
+        def run():
+            yield duration
+            worker.release(request)
+            self._release_slot_if_legacy(worker)
+            self._complete(step, corrupt=False)
+            self._drain_pending()
+
+        self.sim.process(run(), name=f"cpu:{step.step_id}")
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Execution
+
+    def _start_vcu_step(
+        self, step: Step, worker: VcuWorker, request: Dict[str, float], excluded: Set[str]
+    ) -> None:
+        step.attempts += 1
+        step.processed_by = worker.vcu.vcu_id
+        duration = worker.step_seconds(step.vcu_task, request)
+        self._record_utilization()
+
+        def run():
+            yield duration
+            worker.release(request)
+            self._release_slot_if_legacy(worker)
+            self._record_utilization()
+            self._finish_vcu_step(step, worker, excluded)
+            self._drain_pending()
+
+        self.sim.process(run(), name=f"vcu:{step.step_id}")
+
+    def _finish_vcu_step(self, step: Step, worker: VcuWorker, excluded: Set[str]) -> None:
+        if worker.vcu.corrupt:
+            caught = self._rng.random() < self.integrity_check_rate
+            if caught:
+                # Abort everything on this VCU and retry elsewhere
+                # (Section 4.4's black-holing mitigation).
+                self.stats.corrupt_caught += 1
+                self.stats.retries += 1
+                worker.abort_and_quarantine()
+                self._enqueue(step, excluded | {worker.name})
+                return
+            step.corrupt_output = True
+            self.stats.corrupt_escaped += 1
+        self._complete(step, corrupt=step.corrupt_output)
+
+    def _start_cpu_transcode(
+        self, step: Step, worker: CpuWorker, request: Dict[str, float]
+    ) -> None:
+        step.attempts += 1
+        step.processed_by = worker.name
+        duration = worker.transcode_seconds(step.vcu_task, request)
+
+        def run():
+            yield duration
+            worker.release(request)
+            self._complete(step, corrupt=False)
+            self._drain_pending()
+
+        self.sim.process(run(), name=f"sw:{step.step_id}")
+
+    def _release_slot_if_legacy(self, worker) -> None:
+        scheduler = self.vcu_scheduler if isinstance(worker, VcuWorker) else None
+        if isinstance(scheduler, SingleSlotScheduler):
+            scheduler.release_slot(worker)
+
+    # ------------------------------------------------------------------ #
+    # Completion
+
+    def _complete(self, step: Step, corrupt: bool) -> None:
+        if id(step) in self._done:
+            raise RuntimeError(f"step {step.step_id} completed twice")
+        self._done.add(id(step))
+        self.stats.completed_steps += 1
+        if step.is_transcode() and not corrupt:
+            megapixels = step.vcu_task.output_pixels / 1e6
+            self.stats.throughput.record(self.sim.now, megapixels)
+            if step.processed_by:
+                per_vcu = self.stats.per_vcu_megapixels
+                per_vcu[step.processed_by] = per_vcu.get(step.processed_by, 0.0) + megapixels
+        for dependent in self._dependents.get(id(step), []):
+            self._remaining_deps[id(dependent)] -= 1
+            if self._remaining_deps[id(dependent)] == 0:
+                self._enqueue(dependent, set())
+        self._check_graph_done(step)
+
+    def _check_graph_done(self, step: Step) -> None:
+        graph = self._graph_of.get(id(step))
+        if graph is None:
+            return
+        self._graph_remaining[id(graph)] -= 1
+        if self._graph_remaining[id(graph)] == 0 and graph.completed_at is None:
+            graph.completed_at = self.sim.now
+            self.stats.completed_graphs += 1
+            self.stats.graph_latencies.append(graph.completed_at - graph.submitted_at)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+
+    def _record_utilization(self) -> None:
+        workers = [w for w in self.vcu_workers if w.available()]
+        if not workers:
+            return
+        encoder = float(np.mean([w.vcu.encoder_utilization() for w in workers]))
+        decoder = float(np.mean([w.vcu.decoder_utilization() for w in workers]))
+        self.encoder_util.record(self.sim.now, encoder)
+        self.decoder_util.record(self.sim.now, decoder)
+
+    def healthy_vcu_count(self) -> int:
+        return sum(1 for w in self.vcu_workers if w.available())

@@ -1,0 +1,58 @@
+"""Time-weighted utilization and throughput accounting for the cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class UtilizationTracker:
+    """Integrates a usage fraction over virtual time.
+
+    Call :meth:`record` whenever usage changes; :meth:`average` returns
+    the time-weighted mean over the observed span.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._last_time = start_time
+        self._last_value = 0.0
+        self._area = 0.0
+        self._start = start_time
+
+    def record(self, now: float, value: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time moved backwards")
+        self._area += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = value
+
+    def average(self, now: float = None) -> float:
+        end = self._last_time if now is None else now
+        if end < self._last_time:
+            raise ValueError("time moved backwards")
+        area = self._area + self._last_value * (end - self._last_time)
+        span = end - self._start
+        return area / span if span > 0 else 0.0
+
+    @property
+    def current(self) -> float:
+        return self._last_value
+
+
+@dataclass
+class ThroughputWindow:
+    """Accumulates output megapixels and exposes Mpix/s over the run."""
+
+    start_time: float = 0.0
+    total_megapixels: float = 0.0
+    completions: int = 0
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, now: float, megapixels: float) -> None:
+        self.total_megapixels += megapixels
+        self.completions += 1
+        self.samples.append((now, megapixels))
+
+    def mpix_per_second(self, now: float) -> float:
+        span = now - self.start_time
+        return self.total_megapixels / span if span > 0 else 0.0

@@ -1,0 +1,116 @@
+"""The geographic layer: regions, clusters, and the global scheduler.
+
+Section 2.2: the platform is distributed across multiple data centers; a
+video is generally processed geographically close to the uploader, but
+the global scheduler can send it further away when local capacity is
+unavailable.  Appendix A adds the regional provisioning goal: equalize
+cluster throughput within a region to minimize the cost of regional
+redundancy.
+
+This module models that layer above :class:`~repro.cluster.cluster.TranscodeCluster`:
+named clusters with capacities and geographic coordinates, upload origins,
+and a router that prefers the nearest cluster with headroom and spills
+over by distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ClusterSite:
+    """One data-center cluster as the global router sees it."""
+
+    name: str
+    region: str
+    #: Abstract map coordinates (distance drives routing preference).
+    location: Tuple[float, float]
+    #: Admission capacity in concurrent videos (a coarse stand-in for the
+    #: cluster's work-queue admission control).
+    capacity: int
+    in_flight: int = 0
+    routed_total: int = 0
+
+    def headroom(self) -> int:
+        return self.capacity - self.in_flight
+
+    def admit(self) -> bool:
+        if self.in_flight >= self.capacity:
+            return False
+        self.in_flight += 1
+        self.routed_total += 1
+        return True
+
+    def finish(self) -> None:
+        if self.in_flight <= 0:
+            raise ValueError(f"cluster {self.name}: finish without admit")
+        self.in_flight -= 1
+
+
+def distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass
+class RoutingDecision:
+    """Where one video went and why."""
+
+    cluster: Optional[ClusterSite]
+    spilled: bool  # True when the nearest cluster had no capacity
+    distance: float
+
+
+class GlobalScheduler:
+    """Routes uploads to the nearest cluster with headroom.
+
+    The preference order is pure distance from the upload origin; a video
+    "spills" when it cannot be served by its nearest cluster.  Rejections
+    only happen when every cluster is full (the global queue would hold
+    the video in reality; callers can model that).
+    """
+
+    def __init__(self, sites: Sequence[ClusterSite]):
+        if not sites:
+            raise ValueError("need at least one cluster site")
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise ValueError("cluster names must be unique")
+        self.sites = list(sites)
+        self.spill_count = 0
+        self.reject_count = 0
+
+    def route(self, origin: Tuple[float, float]) -> RoutingDecision:
+        ordered = sorted(self.sites, key=lambda s: distance(origin, s.location))
+        for index, site in enumerate(ordered):
+            if site.admit():
+                spilled = index > 0
+                if spilled:
+                    self.spill_count += 1
+                return RoutingDecision(
+                    cluster=site, spilled=spilled,
+                    distance=distance(origin, site.location),
+                )
+        self.reject_count += 1
+        return RoutingDecision(cluster=None, spilled=True, distance=float("inf"))
+
+    def regional_throughput(self) -> Dict[str, int]:
+        """Videos routed per region (the equalization target of App. A.1)."""
+        totals: Dict[str, int] = {}
+        for site in self.sites:
+            totals[site.region] = totals.get(site.region, 0) + site.routed_total
+        return totals
+
+    def regional_imbalance(self, region: str) -> float:
+        """Max/min routed ratio across a region's clusters (1.0 = ideal).
+
+        Appendix A.1: the ideal state equalizes the throughput of all
+        clusters in a region.
+        """
+        loads = [s.routed_total for s in self.sites if s.region == region]
+        if not loads:
+            raise KeyError(f"unknown region {region!r}")
+        low = min(loads)
+        return max(loads) / low if low else float("inf")

@@ -1,0 +1,168 @@
+"""Workers: the processes the scheduler places steps onto.
+
+A :class:`VcuWorker` has exclusive access to one VCU (Section 3.3.3:
+"some with exclusive access to a VCU") and advertises its multi-
+dimensional resources; a :class:`CpuWorker` is a conventional machine
+slice doing CPU steps and, when needed, software-fallback transcodes.
+
+Each VCU worker runs one process per transcode to constrain errors to a
+single step (Section 3.1), performs a functional reset plus a 'golden'
+transcode battery when it first binds to a VCU (Section 4.4), and on any
+hardware failure aborts all work on that VCU so the step retries at the
+cluster level -- the black-holing mitigation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.cpu import SkylakeSystem
+from repro.sim.resources import MultiResource
+from repro.vcu.chip import Vcu, VcuTask, processing_seconds, resource_request
+from repro.vcu.spec import VcuSpec
+
+#: Fixed per-step overhead on a VCU worker: process spawn (one process per
+#: transcode), queue setup, stream mux/demux on the host.
+STEP_OVERHEAD_SECONDS = 0.8
+#: Effective network share per VCU worker for moving video on/off the host
+#: (100 Gbps NIC across 20 workers, halved for protocol/RPC overheads).
+IO_BYTES_PER_SECOND = 100e9 / 8 / 20 / 2
+#: Average compression density of production video (Appendix A.2).
+PIXELS_PER_BIT = 6.1
+
+
+class Worker:
+    """Common surface the schedulers rely on."""
+
+    _ids = itertools.count()
+
+    def __init__(self, name: str = ""):
+        self.name = name or f"worker-{next(self._ids)}"
+        self.pool_key = None
+        self.active_steps = 0
+
+    def is_idle(self) -> bool:
+        return self.active_steps == 0
+
+    # Subclasses define: resources (MultiResource), can_run(step), etc.
+
+
+class VcuWorker(Worker):
+    """A worker bound 1:1 to a VCU."""
+
+    def __init__(
+        self,
+        vcu: Vcu,
+        numa_aware: bool = True,
+        target_speedup: float = 5.0,
+        golden_screening: bool = True,
+        host_multiplier: float = None,
+        decode_safety_factor: float = 1.0,
+        step_overhead_seconds: float = STEP_OVERHEAD_SECONDS,
+    ):
+        super().__init__(name=f"worker:{vcu.vcu_id}")
+        self.vcu = vcu
+        self.target_speedup = target_speedup
+        self.decode_safety_factor = decode_safety_factor
+        self.step_overhead_seconds = step_overhead_seconds
+        self.golden_screening = golden_screening
+        self.refused = False
+        if host_multiplier is None:
+            host_multiplier = 1.0 if numa_aware else 1.0 / 1.20
+        self.host_multiplier = host_multiplier
+        if golden_screening:
+            self._screen()
+
+    def _screen(self) -> None:
+        """Functional reset + golden transcode battery before taking work."""
+        if not self.vcu.golden_check():
+            self.refused = True
+
+    @property
+    def resources(self) -> MultiResource:
+        return self.vcu.resources
+
+    def available(self) -> bool:
+        return not self.refused and not self.vcu.disabled
+
+    def request_for(self, task: VcuTask) -> Dict[str, float]:
+        return resource_request(
+            task, self.vcu.spec, self.target_speedup,
+            decode_safety_factor=self.decode_safety_factor,
+        )
+
+    def step_seconds(self, task: VcuTask, granted: Dict[str, float]) -> float:
+        """Wall-clock time for a step: device processing (scaled by host
+        efficiency) plus per-step overhead and host I/O."""
+        device = processing_seconds(task, self.vcu.spec, granted)
+        io_bytes = (task.input_pixels + task.output_pixels) / PIXELS_PER_BIT / 8.0
+        io = io_bytes / IO_BYTES_PER_SECOND
+        if self.vcu.corrupt:
+            # A failing-but-fast VCU races through work (Section 4.4).
+            device *= 0.3
+        return device / self.host_multiplier + self.step_overhead_seconds + io
+
+    def try_admit(self, request: Dict[str, float]) -> bool:
+        if not self.available():
+            return False
+        admitted = self.vcu.try_admit(request)
+        if admitted:
+            self.active_steps += 1
+        return admitted
+
+    def release(self, request: Dict[str, float]) -> None:
+        self.vcu.release(request)
+        self.active_steps -= 1
+
+    def abort_and_quarantine(self) -> None:
+        """On a hardware failure: refuse further work until re-screened."""
+        self.refused = True
+
+
+# Software fallback throughput comes from the Skylake model.
+_CPU_MODEL = SkylakeSystem()
+
+
+class CpuWorker(Worker):
+    """A CPU machine slice: runs CPU steps and software-fallback transcodes."""
+
+    def __init__(self, cores: float = 16.0, name: str = ""):
+        super().__init__(name=name or None)
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.cores = cores
+        self.resources = MultiResource({"cpu_cores": cores}, name=self.name)
+
+    def available(self) -> bool:
+        return True
+
+    def request_for_cpu_step(self, core_seconds: float, max_cores: float = 4.0) -> Dict[str, float]:
+        cores = min(max_cores, self.cores)
+        return {"cpu_cores": cores}
+
+    def cpu_step_seconds(self, core_seconds: float, granted: Dict[str, float]) -> float:
+        return core_seconds / granted["cpu_cores"]
+
+    def request_for_transcode(self, task: VcuTask) -> Dict[str, float]:
+        """Software fallback: grab a fixed core bundle per transcode."""
+        return {"cpu_cores": min(8.0, self.cores)}
+
+    def transcode_seconds(self, task: VcuTask, granted: Dict[str, float]) -> float:
+        total = 0.0
+        for output in task.outputs:
+            mpix = output.pixels * task.frame_count / 1e6
+            rate_per_core = _CPU_MODEL.per_core_throughput(task.codec, output)
+            total += mpix / rate_per_core
+        return total / granted["cpu_cores"]
+
+    def try_admit(self, request: Dict[str, float]) -> bool:
+        admitted = self.resources.acquire(request)
+        if admitted:
+            self.active_steps += 1
+        return admitted
+
+    def release(self, request: Dict[str, float]) -> None:
+        self.resources.release(request)
+        self.active_steps -= 1

@@ -1,0 +1,56 @@
+"""A functional block-based video codec (numpy).
+
+This package really encodes frames: block partitioning, intra prediction,
+motion-compensated inter prediction over up to three reference frames,
+DCT transform + uniform quantization, entropy-model bit counting, and full
+reconstruction (so PSNR is measured against genuinely lossy output).
+
+Encoders are parameterised by :class:`~repro.codec.profiles.EncoderProfile`,
+which mirrors the four encoders of the paper's Figure 7:
+
+* ``LIBX264`` / ``LIBVPX``  -- the software baselines,
+* ``VCU_H264`` / ``VCU_VP9`` -- the hardware encoder analogues, with a
+  restricted toolset (no trellis-style rate shaping) but hardware-only
+  strengths (exhaustive motion search, temporal-filtered alternate
+  reference frames).
+
+Coding-tool differences that are impractical to model functionally
+(probability adaptation, loop-filter detail, trellis quantization) are
+folded into documented per-profile bit-scale calibration factors; the
+functional differences (block sizes, partitioning, reference counts,
+search quality) are real.
+"""
+
+from repro.codec.profiles import (
+    LIBVPX,
+    LIBX264,
+    VCU_H264,
+    VCU_VP9,
+    ALL_PROFILES,
+    EncoderProfile,
+)
+from repro.codec.encoder import EncodedChunk, EncodedFrame, Encoder, encode_video
+from repro.codec.rate_control import (
+    OnePassRateControl,
+    RateControlStats,
+    TwoPassRateControl,
+)
+from repro.codec.tuning import rate_control_efficiency, tuned_profile
+
+__all__ = [
+    "EncoderProfile",
+    "LIBX264",
+    "LIBVPX",
+    "VCU_H264",
+    "VCU_VP9",
+    "ALL_PROFILES",
+    "Encoder",
+    "EncodedFrame",
+    "EncodedChunk",
+    "encode_video",
+    "OnePassRateControl",
+    "TwoPassRateControl",
+    "RateControlStats",
+    "rate_control_efficiency",
+    "tuned_profile",
+]

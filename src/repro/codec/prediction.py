@@ -1,0 +1,229 @@
+"""Intra prediction and motion-compensated inter prediction.
+
+Intra modes follow the classic set (DC / vertical / horizontal / TM-style
+gradient) predicting from already-reconstructed neighbours.  Inter
+prediction runs a diamond motion search per reference frame, optionally
+refined to half-pel with bilinear interpolation -- the software profiles'
+bounded search versus the VCU's wider exhaustive window is expressed
+through the profile's ``search_range``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+INTRA_MODES = ("dc", "vertical", "horizontal", "tm")
+
+
+@dataclass(frozen=True)
+class MotionVector:
+    """A motion vector in (half-)pel units on the proxy plane."""
+
+    dx: float
+    dy: float
+
+    def __iter__(self):
+        return iter((self.dx, self.dy))
+
+
+def intra_predict(
+    recon: np.ndarray, y: int, x: int, size: int, mode: str
+) -> np.ndarray:
+    """Predict a block from reconstructed top/left neighbours.
+
+    Out-of-frame neighbours fall back to the mid-grey 128 convention.
+    """
+    top: Optional[np.ndarray] = recon[y - 1, x : x + size] if y > 0 else None
+    left: Optional[np.ndarray] = recon[y : y + size, x - 1] if x > 0 else None
+
+    if mode == "dc":
+        values = []
+        if top is not None:
+            values.append(top)
+        if left is not None:
+            values.append(left)
+        mean = float(np.mean(np.concatenate(values))) if values else 128.0
+        return np.full((size, size), mean, dtype=np.float64)
+    if mode == "vertical":
+        row = top if top is not None else np.full(size, 128.0)
+        return np.tile(row.astype(np.float64), (size, 1))
+    if mode == "horizontal":
+        col = left if left is not None else np.full(size, 128.0)
+        return np.tile(col.astype(np.float64).reshape(-1, 1), (1, size))
+    if mode == "tm":
+        row = top if top is not None else np.full(size, 128.0)
+        col = left if left is not None else np.full(size, 128.0)
+        corner = float(recon[y - 1, x - 1]) if (y > 0 and x > 0) else 128.0
+        prediction = (
+            row.astype(np.float64).reshape(1, -1)
+            + col.astype(np.float64).reshape(-1, 1)
+            - corner
+        )
+        return np.clip(prediction, 0.0, 255.0)
+    raise ValueError(f"unknown intra mode {mode!r}")
+
+
+def best_intra(
+    source: np.ndarray,
+    recon: np.ndarray,
+    y: int,
+    x: int,
+    size: int,
+    candidate_rounds: int,
+) -> Tuple[str, np.ndarray, float]:
+    """Pick the intra mode with lowest SAD; returns (mode, prediction, sad).
+
+    ``candidate_rounds`` bounds how many modes are examined, modelling the
+    VCU pipeline's fixed candidate budget (round 1: dc+vertical+horizontal;
+    round 2 adds tm).
+    """
+    modes = INTRA_MODES[: 3 + max(0, candidate_rounds - 1)]
+    best: Tuple[str, np.ndarray, float] = ("dc", None, float("inf"))  # type: ignore
+    for mode in modes:
+        prediction = intra_predict(recon, y, x, size, mode)
+        sad = float(np.sum(np.abs(source - prediction)))
+        if sad < best[2]:
+            best = (mode, prediction, sad)
+    return best
+
+
+def sample_block(
+    reference: np.ndarray, y: float, x: float, size: int
+) -> Optional[np.ndarray]:
+    """Fetch a (possibly half-pel) block from a reference; None if outside.
+
+    Integer positions return a *view* into the reference for speed; callers
+    must not mutate the result.
+    """
+    if y < 0 or x < 0 or y + size > reference.shape[0] or x + size > reference.shape[1]:
+        return None
+    yi, xi = int(y), int(x)
+    fy, fx = y - yi, x - xi
+    if fy == 0 and fx == 0:
+        return reference[yi : yi + size, xi : xi + size]
+    if yi + size + 1 > reference.shape[0] or xi + size + 1 > reference.shape[1]:
+        return None
+    a = reference[yi : yi + size, xi : xi + size]
+    b = reference[yi : yi + size, xi + 1 : xi + size + 1]
+    c = reference[yi + 1 : yi + size + 1, xi : xi + size]
+    d = reference[yi + 1 : yi + size + 1, xi + 1 : xi + size + 1]
+    return (
+        a * ((1 - fy) * (1 - fx)) + b * ((1 - fy) * fx)
+        + c * (fy * (1 - fx)) + d * (fy * fx)
+    )
+
+
+_LARGE_DIAMOND = ((0, -2), (0, 2), (-2, 0), (2, 0), (-1, -1), (-1, 1), (1, -1), (1, 1))
+_SMALL_DIAMOND = ((0, -1), (0, 1), (-1, 0), (1, 0))
+_HALF_PEL = (
+    (-0.5, -0.5), (-0.5, 0.0), (-0.5, 0.5), (0.0, -0.5),
+    (0.0, 0.5), (0.5, -0.5), (0.5, 0.0), (0.5, 0.5),
+)
+
+
+def _sad(source: np.ndarray, candidate: Optional[np.ndarray]) -> float:
+    if candidate is None:
+        return float("inf")
+    return float(np.abs(source - candidate).sum())
+
+
+def motion_search(
+    source: np.ndarray,
+    reference: np.ndarray,
+    y: int,
+    x: int,
+    size: int,
+    search_range: int,
+    half_pel: bool,
+    predicted_mv: MotionVector = MotionVector(0.0, 0.0),
+) -> Tuple[MotionVector, np.ndarray, float]:
+    """Diamond search around (0,0) and the predicted MV; optional half-pel.
+
+    Returns ``(mv, prediction_block, sad)``.  The prediction block is
+    always valid (the zero MV candidate is in-frame by construction).
+    """
+    starts = {(0, 0), (round(predicted_mv.dy), round(predicted_mv.dx))}
+    best_mv = (0, 0)
+    best_sad = _sad(source, sample_block(reference, y, x, size))
+    for sy, sx in starts:
+        if abs(sy) > search_range or abs(sx) > search_range:
+            continue
+        sad = _sad(source, sample_block(reference, y + sy, x + sx, size))
+        if sad < best_sad:
+            best_sad, best_mv = sad, (sy, sx)
+
+    # Large diamond until the centre stays best, then one small-diamond pass.
+    improved = True
+    while improved:
+        improved = False
+        for dy, dx in _LARGE_DIAMOND:
+            cy, cx = best_mv[0] + dy, best_mv[1] + dx
+            if abs(cy) > search_range or abs(cx) > search_range:
+                continue
+            sad = _sad(source, sample_block(reference, y + cy, x + cx, size))
+            if sad < best_sad:
+                best_sad, best_mv, improved = sad, (cy, cx), True
+    for dy, dx in _SMALL_DIAMOND:
+        cy, cx = best_mv[0] + dy, best_mv[1] + dx
+        if abs(cy) > search_range or abs(cx) > search_range:
+            continue
+        sad = _sad(source, sample_block(reference, y + cy, x + cx, size))
+        if sad < best_sad:
+            best_sad, best_mv = sad, (cy, cx)
+
+    mv_y, mv_x = float(best_mv[0]), float(best_mv[1])
+    if half_pel:
+        for dy, dx in _HALF_PEL:
+            sad = _sad(
+                source, sample_block(reference, y + mv_y + dy, x + mv_x + dx, size)
+            )
+            if sad < best_sad:
+                best_sad, mv_y_new, mv_x_new = sad, mv_y + dy, mv_x + dx
+                mv_y, mv_x = mv_y_new, mv_x_new
+
+    prediction = sample_block(reference, y + mv_y, x + mv_x, size)
+    if prediction is None:  # pragma: no cover - zero MV is always valid
+        prediction = sample_block(reference, y, x, size)
+        mv_y = mv_x = 0.0
+        best_sad = _sad(source, prediction)
+    return MotionVector(dx=mv_x, dy=mv_y), prediction, best_sad
+
+
+#: Mean absolute error per pixel below which further references are not
+#: searched -- a "good enough" early exit real encoders also take.
+GOOD_ENOUGH_SAD_PER_PIXEL = 1.0
+
+
+def best_inter(
+    source: np.ndarray,
+    references: Sequence[np.ndarray],
+    y: int,
+    x: int,
+    size: int,
+    search_range: int,
+    half_pel: bool,
+    predicted_mv: MotionVector = MotionVector(0.0, 0.0),
+) -> Tuple[int, MotionVector, np.ndarray, float]:
+    """Search references in order; returns (ref_index, mv, prediction, sad).
+
+    Stops early once a reference predicts to within
+    :data:`GOOD_ENOUGH_SAD_PER_PIXEL` mean error.
+    """
+    if not references:
+        raise ValueError("best_inter needs at least one reference")
+    good_enough = GOOD_ENOUGH_SAD_PER_PIXEL * size * size
+    best: Tuple[int, MotionVector, np.ndarray, float] = (
+        -1, MotionVector(0.0, 0.0), None, float("inf"),  # type: ignore
+    )
+    for index, reference in enumerate(references):
+        mv, prediction, sad = motion_search(
+            source, reference, y, x, size, search_range, half_pel, predicted_mv
+        )
+        if sad < best[3]:
+            best = (index, mv, prediction, sad)
+        if best[3] <= good_enough:
+            break
+    return best

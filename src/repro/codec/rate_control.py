@@ -1,0 +1,206 @@
+"""Rate control: one-pass and two-pass QP selection (Section 2.1).
+
+* :class:`OnePassRateControl` -- low-latency: a leaky-bucket model reacts
+  to the bits actually produced, with no future knowledge.  Used by the
+  live and cloud-gaming modes.
+* :class:`TwoPassRateControl` -- the first pass collects per-frame
+  complexity (prediction SAD); the second pass allocates the bit budget
+  proportionally to complexity and converts each frame's budget to a QP
+  through the observed bits-vs-QP model.  ``lag_frames`` bounds how much
+  future the allocator may see: ``None`` = offline (whole video),
+  a finite value = lagged two-pass, ``0`` degenerates to low-latency.
+
+Rate control runs on the *host* in the real system (Section 3.3.2) and was
+the main post-deployment tuning surface; the profile's
+``rate_control_efficiency`` models that tuning (see :mod:`repro.codec.tuning`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.codec.encoder import Encoder, EncodedChunk, EncodedFrame
+from repro.codec.profiles import EncoderProfile
+from repro.codec.transform import MAX_QP, MIN_QP
+from repro.video.frame import Frame, RawVideo, sequence_psnr
+
+
+@dataclass
+class RateControlStats:
+    """Bookkeeping shared by both controllers (useful in tests/benches)."""
+
+    target_bits_per_frame: float
+    frame_bits: List[float] = field(default_factory=list)
+    frame_qps: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_bits_per_frame(self) -> float:
+        return float(np.mean(self.frame_bits)) if self.frame_bits else 0.0
+
+    @property
+    def overshoot(self) -> float:
+        """Fraction above target; negative means undershoot."""
+        if not self.frame_bits:
+            return 0.0
+        return self.achieved_bits_per_frame / self.target_bits_per_frame - 1.0
+
+
+def _clamp_qp(qp: float) -> float:
+    return float(np.clip(qp, MIN_QP, MAX_QP))
+
+
+class OnePassRateControl:
+    """Reactive leaky-bucket controller with no future information."""
+
+    def __init__(self, target_bits_per_frame: float, initial_qp: float = 32.0):
+        if target_bits_per_frame <= 0:
+            raise ValueError("target_bits_per_frame must be positive")
+        self.stats = RateControlStats(target_bits_per_frame)
+        self._qp = _clamp_qp(initial_qp)
+        self._buffer = 0.0  # bits of accumulated overshoot
+
+    def next_qp(self) -> float:
+        return self._qp
+
+    def update(self, produced_bits: float) -> None:
+        """Adapt QP from the bits the last frame actually produced."""
+        target = self.stats.target_bits_per_frame
+        self.stats.frame_bits.append(produced_bits)
+        self.stats.frame_qps.append(self._qp)
+        self._buffer += produced_bits - target
+        # Proportional step on log-bits error plus buffer pressure; QP moves
+        # ~6 per doubling of bits, matching the step-size ladder.
+        error = np.log2(max(produced_bits, 1.0) / target)
+        pressure = self._buffer / (8.0 * target)
+        self._qp = _clamp_qp(self._qp + 2.0 * error + 1.0 * pressure)
+
+
+class TwoPassRateControl:
+    """First pass measures complexity; second pass allocates bits to match."""
+
+    def __init__(
+        self,
+        target_bits_per_frame: float,
+        lag_frames: Optional[int] = None,
+    ):
+        if target_bits_per_frame <= 0:
+            raise ValueError("target_bits_per_frame must be positive")
+        if lag_frames is not None and lag_frames < 0:
+            raise ValueError("lag_frames must be >= 0 or None for offline")
+        self.stats = RateControlStats(target_bits_per_frame)
+        self.lag_frames = lag_frames
+
+    def allocate(self, complexities: Sequence[float]) -> List[float]:
+        """Per-frame bit budgets proportional to windowed complexity."""
+        total = len(complexities)
+        budget_total = self.stats.target_bits_per_frame * total
+        budgets: List[float] = []
+        complexities = [max(c, 1.0) for c in complexities]
+        for index in range(total):
+            if self.lag_frames is None:
+                # Offline: statistics from the entire video are available.
+                window = complexities
+            else:
+                window_end = min(total, index + 1 + self.lag_frames)
+                window = complexities[index:window_end]
+            window_mean = float(np.mean(window))
+            share = complexities[index] / (window_mean * total)
+            budgets.append(budget_total * share)
+        # Normalise so budgets sum exactly to the total budget.
+        scale = budget_total / sum(budgets)
+        return [b * scale for b in budgets]
+
+    @staticmethod
+    def qp_for_budget(budget_bits: float, reference_bits: float, reference_qp: float) -> float:
+        """Invert the bits-vs-QP model: ~6 QP per doubling of bits."""
+        if budget_bits <= 0 or reference_bits <= 0:
+            return _clamp_qp(reference_qp)
+        return _clamp_qp(reference_qp - 6.0 * np.log2(budget_bits / reference_bits))
+
+
+def encode_with_target_bitrate(
+    video: RawVideo,
+    profile: EncoderProfile,
+    target_bitrate_bps: float,
+    two_pass: bool = True,
+    lag_frames: Optional[int] = None,
+    keyframe_interval: int = 150,
+) -> EncodedChunk:
+    """Encode to a target bitrate with the requested rate-control mode.
+
+    The target is expressed at the nominal resolution; it is converted to a
+    proxy-plane bit budget internally.
+    """
+    if target_bitrate_bps <= 0:
+        raise ValueError("target bitrate must be positive")
+    proxy_pixels = video.frames[0].proxy_pixels
+    scale = proxy_pixels / video.nominal.pixels
+    target_bits_per_frame = target_bitrate_bps / video.fps * scale
+
+    if two_pass:
+        return _encode_two_pass(
+            video, profile, target_bits_per_frame, lag_frames, keyframe_interval
+        )
+    return _encode_one_pass(video, profile, target_bits_per_frame, keyframe_interval)
+
+
+def _encode_one_pass(
+    video: RawVideo,
+    profile: EncoderProfile,
+    target_bits_per_frame: float,
+    keyframe_interval: int,
+) -> EncodedChunk:
+    controller = OnePassRateControl(target_bits_per_frame)
+    encoder = Encoder(profile, keyframe_interval=keyframe_interval)
+    encoded: List[EncodedFrame] = []
+    for frame in video.frames:
+        result = encoder.encode_frame(frame, controller.next_qp())
+        controller.update(result.bits)
+        encoded.append(result)
+    return _finish(video, profile, encoded)
+
+
+def _encode_two_pass(
+    video: RawVideo,
+    profile: EncoderProfile,
+    target_bits_per_frame: float,
+    lag_frames: Optional[int],
+    keyframe_interval: int,
+) -> EncodedChunk:
+    # First pass: fast constant-QP encode to measure per-frame complexity.
+    probe_qp = 36.0
+    probe_encoder = Encoder(profile, keyframe_interval=keyframe_interval)
+    probe = [probe_encoder.encode_frame(frame, probe_qp) for frame in video.frames]
+
+    controller = TwoPassRateControl(target_bits_per_frame, lag_frames=lag_frames)
+    budgets = controller.allocate([p.sad for p in probe])
+
+    # Second pass: per-frame QP from each frame's probe bits and budget.
+    encoder = Encoder(profile, keyframe_interval=keyframe_interval)
+    encoded: List[EncodedFrame] = []
+    for frame, probe_frame, budget in zip(video.frames, probe, budgets):
+        qp = controller.qp_for_budget(budget, probe_frame.bits, probe_qp)
+        result = encoder.encode_frame(frame, qp)
+        controller.stats.frame_bits.append(result.bits)
+        controller.stats.frame_qps.append(qp)
+        encoded.append(result)
+    return _finish(video, profile, encoded)
+
+
+def _finish(
+    video: RawVideo, profile: EncoderProfile, encoded: List[EncodedFrame]
+) -> EncodedChunk:
+    recon_frames = [
+        Frame(e.recon.astype(np.float32), video.nominal, e.index) for e in encoded
+    ]
+    return EncodedChunk(
+        profile_name=profile.name,
+        frames=encoded,
+        fps=video.fps,
+        nominal_pixels_per_frame=video.nominal.pixels,
+        proxy_pixels_per_frame=video.frames[0].proxy_pixels,
+        psnr=sequence_psnr(video.frames, recon_frames),
+    )

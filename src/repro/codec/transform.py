@@ -1,0 +1,80 @@
+"""Block transform and quantization.
+
+A separable 2-D DCT-II (orthonormal) implemented with cached basis
+matrices, plus the H.264-style quantizer-parameter ladder where the
+quantization step doubles every 6 QP.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+MIN_QP = 0
+MAX_QP = 51
+
+
+@lru_cache(maxsize=None)
+def dct_matrix(size: int) -> np.ndarray:
+    """Orthonormal DCT-II basis matrix of the given size."""
+    if size < 2:
+        raise ValueError("transform size must be >= 2")
+    k = np.arange(size).reshape(-1, 1)
+    n = np.arange(size).reshape(1, -1)
+    basis = np.cos(np.pi * (2 * n + 1) * k / (2 * size))
+    basis[0, :] *= 1.0 / np.sqrt(2.0)
+    return (basis * np.sqrt(2.0 / size)).astype(np.float64)
+
+
+def forward_dct(block: np.ndarray) -> np.ndarray:
+    """2-D DCT of a square block."""
+    size = block.shape[0]
+    if block.shape != (size, size):
+        raise ValueError(f"block must be square, got {block.shape}")
+    basis = dct_matrix(size)
+    return basis @ block.astype(np.float64) @ basis.T
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    size = coefficients.shape[0]
+    basis = dct_matrix(size)
+    return basis.T @ coefficients @ basis
+
+
+def qp_to_step(qp: float) -> float:
+    """Quantization step size; doubles every 6 QP (H.264 convention)."""
+    if not MIN_QP <= qp <= MAX_QP:
+        raise ValueError(f"QP {qp} outside [{MIN_QP}, {MAX_QP}]")
+    return 0.625 * 2.0 ** (qp / 6.0)
+
+
+def qp_to_lambda(qp: float) -> float:
+    """RD Lagrange multiplier; the classic 0.57 * Qstep^2 rule."""
+    step = qp_to_step(qp)
+    return 0.57 * step * step
+
+
+def quantize(coefficients: np.ndarray, qp: float) -> np.ndarray:
+    """Uniform dead-zone quantization to integer levels."""
+    step = qp_to_step(qp)
+    return np.round(coefficients / step).astype(np.int64)
+
+
+def dequantize(levels: np.ndarray, qp: float) -> np.ndarray:
+    return levels.astype(np.float64) * qp_to_step(qp)
+
+
+def transform_rd(
+    residual: np.ndarray, qp: float
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Transform, quantize, and reconstruct a residual block.
+
+    Returns ``(levels, reconstructed_residual, distortion_sse)``.
+    """
+    coefficients = forward_dct(residual)
+    levels = quantize(coefficients, qp)
+    reconstructed = inverse_dct(dequantize(levels, qp))
+    distortion = float(np.sum((residual - reconstructed) ** 2))
+    return levels, reconstructed, distortion

@@ -1,0 +1,17 @@
+"""Failure management (Section 4.4): injection, detection, repair.
+
+The full life cycle the paper describes: fault injection into a running
+cluster, telemetry-driven VCU disablement, golden-task screening of new
+workers, black-holing detection/mitigation, capped repair queues, and
+blast-radius accounting for corrupt chunks.
+"""
+
+from repro.failures.injector import FaultEvent, FaultInjector
+from repro.failures.management import FailureManager, RepairQueue
+
+__all__ = [
+    "FaultInjector",
+    "FaultEvent",
+    "FailureManager",
+    "RepairQueue",
+]

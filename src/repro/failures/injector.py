@@ -1,0 +1,78 @@
+"""Fault injection: makes VCUs fail while the cluster runs.
+
+Two fault flavours matter to the evaluation:
+
+* *hard* faults -- ECC storms, resets -- that show up in telemetry and get
+  the VCU disabled by the fault-management sweep, and
+* *silent corruption* -- the dangerous one: the VCU keeps completing work
+  (often faster than healthy devices because it skips real work), feeding
+  the black-holing failure mode of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeedLike, make_rng
+from repro.vcu.chip import Vcu
+from repro.vcu.telemetry import FaultKind
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    at_time: float
+    vcu_id: str
+    kind: str  # "silent_corruption" or a FaultKind value
+
+
+class FaultInjector:
+    """Schedules faults onto VCUs over simulated time."""
+
+    def __init__(self, sim: Simulator, vcus: Sequence[Vcu], seed: SeedLike = 0):
+        self.sim = sim
+        self.vcus = list(vcus)
+        self._rng = make_rng(seed)
+        self.injected: List[FaultEvent] = []
+
+    def corrupt_at(self, at_time: float, vcu: Vcu) -> FaultEvent:
+        """Silently corrupt one VCU at a given time."""
+        event = FaultEvent(at_time=at_time, vcu_id=vcu.vcu_id, kind="silent_corruption")
+        self.injected.append(event)
+        self.sim.call_at(at_time, vcu.mark_corrupt)
+        return event
+
+    def hard_fault_at(
+        self, at_time: float, vcu: Vcu, kind: FaultKind, count: int = 1
+    ) -> FaultEvent:
+        """Record hard faults in telemetry at a given time."""
+        event = FaultEvent(at_time=at_time, vcu_id=vcu.vcu_id, kind=kind.value)
+        self.injected.append(event)
+        self.sim.call_at(
+            at_time, lambda: vcu.telemetry.record(kind, at_time=at_time, count=count)
+        )
+        return event
+
+    def random_corruptions(
+        self, rate_per_vcu_hour: float, until: float
+    ) -> List[FaultEvent]:
+        """Poisson silent-corruption arrivals across the fleet.
+
+        VCU failures are largely independent (Section 4.4: card swaps
+        correlate with single-VCU failures), so each device draws its own
+        Poisson process.
+        """
+        if rate_per_vcu_hour < 0:
+            raise ValueError("rate must be >= 0")
+        events: List[FaultEvent] = []
+        rate_per_second = rate_per_vcu_hour / 3600.0
+        if rate_per_second == 0:
+            return events
+        for vcu in self.vcus:
+            t = float(self._rng.exponential(1.0 / rate_per_second))
+            if t < until:
+                events.append(self.corrupt_at(t, vcu))
+        return events

@@ -1,0 +1,92 @@
+"""Fleet failure management: sweeps, disables, and the capped repair flow.
+
+Mirrors Section 4.4's workflow: hosts collect telemetry from their VCUs;
+when a device crosses a fault threshold it is disabled (the VCU, not the
+host, is the lowest unit of fault management -- each has an independent
+power rail); hosts with enough component faults are marked unusable and
+queued for repair; and the number of systems allowed in repair states is
+capped so a faulty repair *signal* cannot black-hole fleet capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+from repro.vcu.host import VcuHost
+
+
+@dataclass
+class RepairQueue:
+    """Hosts waiting for a human technician, with a concurrency cap."""
+
+    cap: int = 2
+    waiting: Deque[VcuHost] = field(default_factory=deque)
+    in_repair: List[VcuHost] = field(default_factory=list)
+    repaired: List[VcuHost] = field(default_factory=list)
+
+    def enqueue(self, host: VcuHost) -> bool:
+        """Queue a host for repair; returns False when the cap blocks it.
+
+        A blocked host stays in production (tolerated-but-faulty) rather
+        than being drained -- the capacity-protection behaviour the paper
+        describes.
+        """
+        if len(self.in_repair) + len(self.waiting) >= self.cap:
+            return False
+        self.waiting.append(host)
+        return True
+
+    def start_repairs(self) -> List[VcuHost]:
+        started = []
+        while self.waiting and len(self.in_repair) < self.cap:
+            host = self.waiting.popleft()
+            self.in_repair.append(host)
+            started.append(host)
+        return started
+
+    def finish_repair(self, host: VcuHost) -> None:
+        self.in_repair.remove(host)
+        host.unusable = False
+        host.component_faults = 0
+        for vcu in host.vcus:
+            vcu.enable()
+        self.repaired.append(host)
+
+
+class FailureManager:
+    """Periodic telemetry sweeps across hosts, driving disables/repairs."""
+
+    def __init__(self, hosts: Sequence[VcuHost], repair_cap: int = 2):
+        self.hosts = list(hosts)
+        self.repair_queue = RepairQueue(cap=repair_cap)
+        self.disabled_vcus: List[str] = []
+
+    def sweep(self) -> List[str]:
+        """One pass over all hosts; returns newly-disabled VCU ids."""
+        newly_disabled: List[str] = []
+        for host in self.hosts:
+            for vcu in host.sweep_telemetry():
+                newly_disabled.append(vcu.vcu_id)
+            if host.unusable and host not in self.repair_queue.in_repair:
+                self.repair_queue.enqueue(host)
+        self.disabled_vcus.extend(newly_disabled)
+        return newly_disabled
+
+    def available_vcu_count(self) -> int:
+        return sum(len(host.healthy_vcus()) for host in self.hosts)
+
+    def fleet_capacity_fraction(self) -> float:
+        total = sum(len(host.vcus) for host in self.hosts)
+        return self.available_vcu_count() / total if total else 0.0
+
+
+def blast_radius(processed_by: Sequence[Optional[str]], corrupt_vcu: str) -> int:
+    """How many chunks a single corrupt VCU touched (Section 4.4).
+
+    The software records the VCUs each chunk was processed on exactly so
+    this correlation is possible; consistent hashing is the paper's
+    proposed future mitigation for shrinking it.
+    """
+    return sum(1 for vcu_id in processed_by if vcu_id == corrupt_vcu)

@@ -1,0 +1,10 @@
+"""Shared experiment harness used by the benchmarks and examples."""
+
+from repro.harness.rd import (
+    DEFAULT_QPS,
+    rd_curve,
+    suite_bd_rates,
+    suite_rd_curves,
+)
+
+__all__ = ["DEFAULT_QPS", "rd_curve", "suite_rd_curves", "suite_bd_rates"]

@@ -1,0 +1,18 @@
+"""Quality and throughput metrics used throughout the evaluation."""
+
+from repro.metrics.quality import RDPoint, bd_rate, bd_psnr, rd_curve_is_monotonic
+from repro.metrics.throughput import megapixels, mpix_per_second
+from repro.metrics.reporting import format_table
+from repro.metrics.ssim import sequence_ssim, ssim
+
+__all__ = [
+    "RDPoint",
+    "bd_rate",
+    "bd_psnr",
+    "rd_curve_is_monotonic",
+    "megapixels",
+    "mpix_per_second",
+    "format_table",
+    "ssim",
+    "sequence_ssim",
+]

@@ -1,0 +1,100 @@
+"""Rate-distortion metrics: RD points, BD-rate and BD-PSNR (Bjøntegaard).
+
+BD-rate [Bjøntegaard, VCEG-M33] is the paper's headline quality metric:
+the average bitrate difference between two encoders at equal quality,
+computed by fitting each operational RD curve with a cubic polynomial in
+(PSNR -> log bitrate) and integrating the gap over the overlapping PSNR
+range.  Negative BD-rate means the test encoder needs fewer bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class RDPoint:
+    """One operating point of an encoder: bitrate (bits/s) and PSNR (dB)."""
+
+    bitrate: float
+    psnr: float
+
+    def __post_init__(self) -> None:
+        if self.bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+
+
+def _prepare(points: Iterable[RDPoint]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted, deduplicated (log-rate, psnr) arrays for curve fitting."""
+    unique = sorted(set(points))
+    if len(unique) < 4:
+        raise ValueError(
+            f"BD metrics need at least 4 distinct RD points, got {len(unique)}"
+        )
+    rates = np.array([p.bitrate for p in unique], dtype=np.float64)
+    psnrs = np.array([p.psnr for p in unique], dtype=np.float64)
+    if np.any(np.diff(psnrs) <= 0):
+        # A non-monotonic curve breaks the PSNR->rate inversion; keep the
+        # convex hull-ish monotone subset (highest rate wins per PSNR).
+        keep = _monotone_subset(psnrs)
+        rates, psnrs = rates[keep], psnrs[keep]
+        if len(rates) < 4:
+            raise ValueError("too few monotone RD points after filtering")
+    return np.log10(rates), psnrs
+
+
+def _monotone_subset(psnrs: np.ndarray) -> List[int]:
+    keep = [0]
+    for i in range(1, len(psnrs)):
+        if psnrs[i] > psnrs[keep[-1]]:
+            keep.append(i)
+    return keep
+
+
+def bd_rate(reference: Sequence[RDPoint], test: Sequence[RDPoint]) -> float:
+    """Average bitrate change of ``test`` vs ``reference`` at equal PSNR (%).
+
+    Returns e.g. ``-30.0`` when the test encoder needs 30% fewer bits.
+    """
+    log_rate_ref, psnr_ref = _prepare(reference)
+    log_rate_test, psnr_test = _prepare(test)
+
+    low = max(psnr_ref.min(), psnr_test.min())
+    high = min(psnr_ref.max(), psnr_test.max())
+    if high <= low:
+        raise ValueError("RD curves do not overlap in PSNR; BD-rate undefined")
+
+    poly_ref = np.polynomial.Polynomial.fit(psnr_ref, log_rate_ref, deg=3)
+    poly_test = np.polynomial.Polynomial.fit(psnr_test, log_rate_test, deg=3)
+
+    integral_ref = (poly_ref.integ()(high) - poly_ref.integ()(low)) / (high - low)
+    integral_test = (poly_test.integ()(high) - poly_test.integ()(low)) / (high - low)
+
+    return float((10.0 ** (integral_test - integral_ref) - 1.0) * 100.0)
+
+
+def bd_psnr(reference: Sequence[RDPoint], test: Sequence[RDPoint]) -> float:
+    """Average PSNR change of ``test`` vs ``reference`` at equal bitrate (dB)."""
+    log_rate_ref, psnr_ref = _prepare(reference)
+    log_rate_test, psnr_test = _prepare(test)
+
+    low = max(log_rate_ref.min(), log_rate_test.min())
+    high = min(log_rate_ref.max(), log_rate_test.max())
+    if high <= low:
+        raise ValueError("RD curves do not overlap in bitrate; BD-PSNR undefined")
+
+    poly_ref = np.polynomial.Polynomial.fit(log_rate_ref, psnr_ref, deg=3)
+    poly_test = np.polynomial.Polynomial.fit(log_rate_test, psnr_test, deg=3)
+
+    integral_ref = (poly_ref.integ()(high) - poly_ref.integ()(low)) / (high - low)
+    integral_test = (poly_test.integ()(high) - poly_test.integ()(low)) / (high - low)
+    return float(integral_test - integral_ref)
+
+
+def rd_curve_is_monotonic(points: Sequence[RDPoint]) -> bool:
+    """True when more bits never hurt quality (sanity check on encoders)."""
+    ordered = sorted(points)
+    return all(b.psnr >= a.psnr for a, b in zip(ordered, ordered[1:]))

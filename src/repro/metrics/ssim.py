@@ -1,0 +1,64 @@
+"""Structural similarity (SSIM): a perceptual quality metric.
+
+The paper evaluates with PSNR (plus the 45 dB perceptibility ceiling);
+SSIM is the standard complement for checking that rate-control changes do
+not trade PSNR for visible structural damage.  This is a real windowed
+implementation (non-overlapping windows, standard K1/K2 constants), not a
+wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.video.frame import Frame
+
+_K1 = 0.01
+_K2 = 0.03
+
+
+def ssim(
+    reference: np.ndarray,
+    test: np.ndarray,
+    window: int = 8,
+    peak: float = 255.0,
+) -> float:
+    """Mean SSIM over non-overlapping ``window`` x ``window`` tiles."""
+    if reference.shape != test.shape:
+        raise ValueError(f"shape mismatch {reference.shape} vs {test.shape}")
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    height, width = reference.shape
+    if height < window or width < window:
+        raise ValueError("plane smaller than one SSIM window")
+
+    c1 = (_K1 * peak) ** 2
+    c2 = (_K2 * peak) ** 2
+    ref = reference.astype(np.float64)
+    out = test.astype(np.float64)
+
+    scores = []
+    for y in range(0, height - window + 1, window):
+        for x in range(0, width - window + 1, window):
+            a = ref[y : y + window, x : x + window]
+            b = out[y : y + window, x : x + window]
+            mu_a, mu_b = a.mean(), b.mean()
+            var_a, var_b = a.var(), b.var()
+            cov = ((a - mu_a) * (b - mu_b)).mean()
+            numerator = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+            denominator = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+            scores.append(numerator / denominator)
+    return float(np.mean(scores))
+
+
+def sequence_ssim(reference: Sequence[Frame], test: Sequence[Frame]) -> float:
+    """Mean SSIM across a frame sequence."""
+    if len(reference) != len(test):
+        raise ValueError("sequences differ in length")
+    if not reference:
+        raise ValueError("empty sequence")
+    return float(
+        np.mean([ssim(r.data, t.data) for r, t in zip(reference, test)])
+    )

@@ -1,0 +1,32 @@
+"""Throughput accounting in the paper's units.
+
+Megapixels-per-second (Mpix/s) is the paper's cross-resolution throughput
+metric (footnote 7): frames per second times the output width and height.
+For MOT, the pixels of *every* output variant count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.video.frame import Resolution
+
+
+def megapixels(resolutions: Iterable[Resolution], frames: int = 1) -> float:
+    """Total megapixels across output variants for ``frames`` frames."""
+    total = sum(r.pixels for r in resolutions) * frames
+    return total / 1e6
+
+
+def mpix_per_second(output_pixels: float, seconds: float) -> float:
+    """Throughput in Mpix/s given total output pixels and wall time."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return output_pixels / 1e6 / seconds
+
+
+def pixels_per_bit(resolution: Resolution, fps: float, bitrate_bps: float) -> float:
+    """Compression density metric from Appendix A.2 (paper average: 6.1)."""
+    if bitrate_bps <= 0:
+        raise ValueError("bitrate must be positive")
+    return resolution.pixels * fps / bitrate_bps

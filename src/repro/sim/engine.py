@@ -1,0 +1,174 @@
+"""A deterministic discrete-event simulation engine.
+
+The engine is intentionally small: a priority queue of timestamped events
+plus generator-based processes.  Processes are plain Python generators that
+``yield`` either a delay (``float``/``int`` seconds of virtual time) or an
+:class:`Event` to wait on.  Determinism matters for the reproduction -- two
+runs with the same seed must produce identical schedules -- so ties in the
+event queue are broken by a monotonically increasing sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` fires it with an optional
+    value and wakes every waiter.  Firing twice is an error -- that almost
+    always indicates a logic bug in a model.
+    """
+
+    __slots__ = ("sim", "_value", "_fired", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._fired = False
+        self._waiters: List["Process"] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise RuntimeError("event value read before the event fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, waking all waiting processes at the current time."""
+        if self._fired:
+            raise RuntimeError("event fired twice")
+        self._fired = True
+        self._value = value
+        for process in self._waiters:
+            self.sim._schedule_resume(process, self._value)
+        self._waiters.clear()
+        return self
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._fired:
+            self.sim._schedule_resume(process, self._value)
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """A running generator-based simulation process.
+
+    The underlying generator yields delays or events.  When the generator
+    returns, the process's completion event fires with the return value.
+    """
+
+    __slots__ = ("sim", "name", "_generator", "done")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.done = Event(sim)
+
+    def _resume(self, value: Any) -> None:
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        if isinstance(yielded, Event):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            yielded.done._add_waiter(self)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(f"process {self.name!r} yielded negative delay {yielded}")
+            self.sim._schedule_resume(self, None, delay=float(yielded))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "expected a delay, Event, or Process"
+            )
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a deterministic event queue."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process; it first runs at the current virtual time."""
+        process = Process(self, generator, name=name)
+        self._schedule_resume(process, None)
+        return process
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule a plain callback at an absolute virtual time."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} before now={self._now}")
+        heapq.heappush(self._queue, (when, next(self._sequence), callback))
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> None:
+        self.call_at(self._now + delay, callback)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires after ``delay`` seconds of virtual time."""
+        event = self.event()
+        self.call_in(delay, lambda: event.succeed(value))
+        return event
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires once every input event has fired."""
+        events = list(events)
+        combined = self.event()
+        remaining = len(events)
+        if remaining == 0:
+            combined.succeed([])
+            return combined
+        results: List[Any] = [None] * remaining
+        outstanding = [remaining]
+
+        def _collector(index: int, source: Event) -> Generator:
+            results[index] = yield source
+            outstanding[0] -= 1
+            if outstanding[0] == 0:
+                combined.succeed(list(results))
+
+        for index, source in enumerate(events):
+            self.process(_collector(index, source), name=f"all_of[{index}]")
+        return combined
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Returns the final virtual time.
+        """
+        while self._queue:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            callback()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _schedule_resume(self, process: Process, value: Any, delay: float = 0.0) -> None:
+        self.call_in(delay, lambda: process._resume(value))

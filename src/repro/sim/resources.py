@@ -1,0 +1,169 @@
+"""Counted and multi-dimensional resources for the event engine.
+
+:class:`MultiResource` is the primitive behind the paper's bin-packing
+scheduler (Section 3.3.3): each worker advertises named scalar dimensions
+("millidecode", "milliencode", "dram_bytes", "host_cpu", plus synthetic
+dimensions), and requests reserve a vector across all of them atomically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Mapping, Optional, Tuple
+
+from repro.sim.engine import Event, Simulator
+
+
+class InsufficientCapacity(Exception):
+    """Raised when a request can never be satisfied by a resource."""
+
+
+class CapacityResource:
+    """A single-dimensional counted resource with FIFO waiters."""
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = float(capacity)
+        self.available = float(capacity)
+        self._waiters: Deque[Tuple[float, Event]] = deque()
+
+    @property
+    def in_use(self) -> float:
+        return self.capacity - self.available
+
+    @property
+    def utilization(self) -> float:
+        return self.in_use / self.capacity
+
+    def acquire(self, amount: float = 1.0) -> Event:
+        """Reserve ``amount``; the returned event fires when the reservation holds."""
+        if amount > self.capacity:
+            raise InsufficientCapacity(
+                f"{self.name or 'resource'}: requested {amount} > capacity {self.capacity}"
+            )
+        event = self.sim.event()
+        if not self._waiters and amount <= self.available:
+            self.available -= amount
+            event.succeed()
+        else:
+            self._waiters.append((amount, event))
+        return event
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Non-blocking reserve; returns whether it succeeded."""
+        if self._waiters or amount > self.available:
+            return False
+        self.available -= amount
+        return True
+
+    def release(self, amount: float = 1.0) -> None:
+        self.available += amount
+        if self.available > self.capacity + 1e-9:
+            raise ValueError(f"{self.name or 'resource'}: released more than acquired")
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters and self._waiters[0][0] <= self.available:
+            amount, event = self._waiters.popleft()
+            self.available -= amount
+            event.succeed()
+
+
+class MultiResource:
+    """A vector of named scalar dimensions reserved atomically.
+
+    This mirrors the worker-resource model of Section 3.3.3: a request
+    either fits in *every* dimension or does not fit at all.  Unlike
+    :class:`CapacityResource` this is non-blocking by design -- the cluster
+    scheduler, not the resource, decides where unfit requests go.
+    """
+
+    def __init__(self, capacities: Mapping[str, float], name: str = ""):
+        if not capacities:
+            raise ValueError("at least one dimension is required")
+        for dim, cap in capacities.items():
+            if cap < 0:
+                raise ValueError(f"dimension {dim!r} has negative capacity {cap}")
+        self.name = name
+        self.capacity: Dict[str, float] = dict(capacities)
+        self.available: Dict[str, float] = dict(capacities)
+
+    def dimensions(self) -> Tuple[str, ...]:
+        return tuple(self.capacity)
+
+    @staticmethod
+    def _epsilon(scale: float) -> float:
+        """Float-comparison slack, relative to the magnitude involved."""
+        return max(1e-9, 1e-9 * abs(scale))
+
+    def fits(self, request: Mapping[str, float]) -> bool:
+        """Whether the request fits the *current* availability.
+
+        Dimensions absent from this resource do not fit (a CPU-only worker
+        cannot host a request that needs encoder cores).
+        """
+        for dim, amount in request.items():
+            if amount <= 0:
+                continue
+            if dim not in self.available:
+                return False
+            if self.available[dim] + self._epsilon(amount) < amount:
+                return False
+        return True
+
+    def could_ever_fit(self, request: Mapping[str, float]) -> bool:
+        """Whether the request fits total capacity (ignoring current use)."""
+        for dim, amount in request.items():
+            if amount <= 0:
+                continue
+            if dim not in self.capacity:
+                return False
+            if self.capacity[dim] + self._epsilon(amount) < amount:
+                return False
+        return True
+
+    def acquire(self, request: Mapping[str, float]) -> bool:
+        """Atomically reserve the vector; returns whether it succeeded."""
+        if not self.fits(request):
+            return False
+        for dim, amount in request.items():
+            if amount > 0:
+                self.available[dim] -= amount
+        return True
+
+    def release(self, request: Mapping[str, float]) -> None:
+        for dim, amount in request.items():
+            if amount <= 0:
+                continue
+            self.available[dim] += amount
+            cap = self.capacity[dim]
+            if self.available[dim] > cap + max(1e-6, 1e-9 * cap):
+                raise ValueError(
+                    f"{self.name or 'resource'}: dimension {dim!r} released more than acquired"
+                )
+            # Clamp accumulated float error so long runs stay exact.
+            if self.available[dim] > cap:
+                self.available[dim] = cap
+
+    def utilization(self, dim: Optional[str] = None) -> float:
+        """Utilization of one dimension, or the max across dimensions."""
+        if dim is not None:
+            cap = self.capacity[dim]
+            return 0.0 if cap == 0 else (cap - self.available[dim]) / cap
+        fractions = [
+            (cap - self.available[d]) / cap
+            for d, cap in self.capacity.items()
+            if cap > 0
+        ]
+        return max(fractions) if fractions else 0.0
+
+    def headroom(self) -> Dict[str, float]:
+        return dict(self.available)
+
+    def is_idle(self) -> bool:
+        return all(
+            abs(self.available[d] - cap) < 1e-9 for d, cap in self.capacity.items()
+        )

@@ -1,0 +1,21 @@
+"""Total-cost-of-ownership and power models for Table 1's efficiency rows."""
+
+from repro.tco.models import (
+    SKYLAKE_COST,
+    T4_SYSTEM_COST,
+    VCU_SYSTEM_8,
+    VCU_SYSTEM_20,
+    SystemCost,
+    perf_per_tco,
+    perf_per_watt,
+)
+
+__all__ = [
+    "SystemCost",
+    "SKYLAKE_COST",
+    "T4_SYSTEM_COST",
+    "VCU_SYSTEM_8",
+    "VCU_SYSTEM_20",
+    "perf_per_tco",
+    "perf_per_watt",
+]

@@ -1,0 +1,117 @@
+"""Parametric TCO and power models (Section 4.1's perf/TCO and perf/watt).
+
+The paper's detailed TCO methodology is confidential; it states only that
+TCO is capital expense plus three years of operational expense (primarily
+power), in the style of Barroso et al.'s data-center cost models.  The
+component numbers below are public-ballpark figures chosen so the
+*normalized* perf/TCO of the four systems lands near Table 1 -- the model
+exists to make the cost structure explicit and ablatable, not to reveal
+real prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Dollars per watt over 3 years: 24*365*3/1000 kWh/W * $0.12/kWh * 1.6
+#: (PUE and power-distribution overhead), ~= $5.05/W.
+DOLLARS_PER_WATT_3YR = 24 * 365 * 3 / 1000 * 0.12 * 1.6
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """Capex plus active power for one system configuration."""
+
+    name: str
+    host_capex: float
+    accelerator_capex_each: float
+    accelerator_count: int
+    host_active_watts: float
+    accelerator_active_watts_each: float
+    #: Per-codec host power override (software encoding pushes the CPU
+    #: package differently per codec; irrelevant for accelerator systems).
+    host_watts_by_codec: Dict[str, float] = field(default_factory=dict)
+
+    def capex(self) -> float:
+        return self.host_capex + self.accelerator_capex_each * self.accelerator_count
+
+    def active_watts(self, codec: str = "h264") -> float:
+        host = self.host_watts_by_codec.get(codec, self.host_active_watts)
+        return host + self.accelerator_active_watts_each * self.accelerator_count
+
+    def tco(self, codec: str = "h264") -> float:
+        """Capex + 3 years of power (the paper's definition)."""
+        return self.capex() + self.active_watts(codec) * DOLLARS_PER_WATT_3YR
+
+
+#: The four systems of Table 1.
+SKYLAKE_COST = SystemCost(
+    name="Skylake",
+    host_capex=8000.0,
+    accelerator_capex_each=0.0,
+    accelerator_count=0,
+    host_active_watts=360.0,
+    accelerator_active_watts_each=0.0,
+    host_watts_by_codec={"h264": 360.0, "vp9": 620.0},
+)
+
+T4_SYSTEM_COST = SystemCost(
+    name="4xNvidia T4",
+    host_capex=8000.0,
+    accelerator_capex_each=2700.0,
+    accelerator_count=4,
+    host_active_watts=200.0,
+    accelerator_active_watts_each=70.0,
+)
+
+#: VCU systems: cards carry two ASICs each; the host runs only the ffmpeg
+#: wrapper, rate control, and drivers (so its active power is modest).
+VCU_SYSTEM_8 = SystemCost(
+    name="8xVCU",
+    host_capex=8000.0,
+    accelerator_capex_each=1750.0,  # per card (2 VCUs)
+    accelerator_count=4,
+    host_active_watts=325.0,
+    accelerator_active_watts_each=80.0,
+)
+
+VCU_SYSTEM_20 = SystemCost(
+    name="20xVCU",
+    host_capex=8000.0,
+    accelerator_capex_each=1750.0,
+    accelerator_count=10,
+    host_active_watts=325.0,
+    accelerator_active_watts_each=80.0,
+)
+
+
+def perf_per_tco(
+    throughput_mpix_s: float,
+    system: SystemCost,
+    baseline_throughput_mpix_s: float,
+    baseline: SystemCost = SKYLAKE_COST,
+) -> float:
+    """Perf/TCO normalized to the baseline system (Table 1's metric).
+
+    TCO is codec-independent: a machine is provisioned (and its power
+    budgeted) once, whichever codec it happens to run.
+    """
+    if throughput_mpix_s <= 0 or baseline_throughput_mpix_s <= 0:
+        raise ValueError("throughputs must be positive")
+    ours = throughput_mpix_s / system.tco()
+    base = baseline_throughput_mpix_s / baseline.tco()
+    return ours / base
+
+
+def perf_per_watt(
+    throughput_mpix_s: float,
+    system: SystemCost,
+    baseline_throughput_mpix_s: float,
+    baseline: SystemCost = SKYLAKE_COST,
+    codec: str = "h264",
+) -> float:
+    """Perf/watt normalized to the baseline (active power only)."""
+    ours = throughput_mpix_s / system.active_watts(codec)
+    base = baseline_throughput_mpix_s / baseline.active_watts(codec)
+    return ours / base

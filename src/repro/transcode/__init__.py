@@ -1,0 +1,29 @@
+"""Transcoding pipelines: output ladders, encoding modes, and step graphs.
+
+This package turns "a video arrived" into the acyclic task-dependency
+graph the warehouse scheduler executes (Section 2.2): chunking, per-chunk
+MOT or SOT transcode steps, non-transcoding steps (thumbnails,
+fingerprinting), and final assembly.
+"""
+
+from repro.transcode.ladder import LadderPolicy, PopularityBucket, variants_for
+from repro.transcode.modes import WORKLOAD_MODES, WorkloadClass, mode_for
+from repro.transcode.pipeline import (
+    Step,
+    StepGraph,
+    StepKind,
+    build_transcode_graph,
+)
+
+__all__ = [
+    "PopularityBucket",
+    "LadderPolicy",
+    "variants_for",
+    "WorkloadClass",
+    "WORKLOAD_MODES",
+    "mode_for",
+    "Step",
+    "StepGraph",
+    "StepKind",
+    "build_transcode_graph",
+]

@@ -1,0 +1,126 @@
+"""Chunk assembly and playability integrity checks (Sections 2.2 / 4.4).
+
+The video system breaks uploads into chunks, fans them out, and assembles
+the results into playable videos.  Assembly is also where the high-level
+integrity checks live: "video length must match the input" detects and
+prevents most corruption from escaping.  This module implements both the
+bookkeeping (which variants are complete) and the checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.transcode.pipeline import Step, StepGraph, StepKind
+
+
+@dataclass(frozen=True)
+class VariantKey:
+    """One output variant of a video: codec + resolution name."""
+
+    codec: str
+    resolution: str
+
+
+@dataclass
+class AssembledVariant:
+    """The assembled output for one variant."""
+
+    key: VariantKey
+    chunk_indices: List[int]
+    total_frames: int
+    corrupt_chunks: int
+
+    @property
+    def playable(self) -> bool:
+        return self.corrupt_chunks == 0
+
+
+@dataclass
+class AssemblyReport:
+    """Result of assembling one video from its completed step graph."""
+
+    video_id: str
+    expected_frames: int
+    variants: Dict[VariantKey, AssembledVariant]
+    missing_chunks: List[Tuple[VariantKey, int]]
+
+    @property
+    def length_check_passed(self) -> bool:
+        """The paper's integrity check: output length must match input."""
+        return not self.missing_chunks and all(
+            v.total_frames == self.expected_frames for v in self.variants.values()
+        )
+
+    @property
+    def playable(self) -> bool:
+        return self.length_check_passed and all(
+            v.playable for v in self.variants.values()
+        )
+
+    def corrupt_variant_count(self) -> int:
+        return sum(1 for v in self.variants.values() if not v.playable)
+
+
+def assemble(graph: StepGraph, expected_frames: int) -> AssemblyReport:
+    """Assemble a completed graph's transcode outputs into variants.
+
+    Works for both MOT graphs (one step covers a whole ladder per chunk)
+    and SOT graphs (one step per rung per chunk).
+    """
+    variants: Dict[VariantKey, Dict[int, Tuple[int, bool]]] = {}
+    chunk_count = 0
+    for step in graph.transcode_steps():
+        chunk_index = _chunk_index_of(step)
+        chunk_count = max(chunk_count, chunk_index + 1)
+        task = step.vcu_task
+        for output in task.outputs:
+            key = VariantKey(codec=task.codec, resolution=output.name)
+            per_chunk = variants.setdefault(key, {})
+            per_chunk[chunk_index] = (task.frame_count, step.corrupt_output)
+
+    assembled: Dict[VariantKey, AssembledVariant] = {}
+    missing: List[Tuple[VariantKey, int]] = []
+    for key, per_chunk in variants.items():
+        indices = sorted(per_chunk)
+        for expected_index in range(chunk_count):
+            if expected_index not in per_chunk:
+                missing.append((key, expected_index))
+        assembled[key] = AssembledVariant(
+            key=key,
+            chunk_indices=indices,
+            total_frames=sum(frames for frames, _ in per_chunk.values()),
+            corrupt_chunks=sum(1 for _, corrupt in per_chunk.values() if corrupt),
+        )
+    return AssemblyReport(
+        video_id=graph.video_id,
+        expected_frames=expected_frames,
+        variants=assembled,
+        missing_chunks=missing,
+    )
+
+
+def _chunk_index_of(step: Step) -> int:
+    """Chunk index from the step id (``video/<chunk>/<codec>/...``)."""
+    parts = step.step_id.split("/")
+    if len(parts) < 2:
+        raise ValueError(f"unexpected step id {step.step_id!r}")
+    return int(parts[1])
+
+
+def fault_correlation(
+    graphs: Sequence[StepGraph],
+) -> Dict[str, List[str]]:
+    """Map VCU id -> video ids with corrupt chunks processed there.
+
+    This is the correlation the software records each chunk's VCU for
+    (Section 4.4): when corruption is discovered later, the culprit VCUs
+    are identified and every touched video can be reprocessed.
+    """
+    suspects: Dict[str, Set[str]] = {}
+    for graph in graphs:
+        for step in graph.transcode_steps():
+            if step.corrupt_output and step.processed_by:
+                suspects.setdefault(step.processed_by, set()).add(graph.video_id)
+    return {vcu: sorted(videos) for vcu, videos in suspects.items()}

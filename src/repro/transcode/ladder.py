@@ -1,0 +1,75 @@
+"""Output variant selection by popularity (Section 2.2).
+
+Video popularity follows a stretched power law with three buckets:
+
+* ``HOT`` -- the very popular head: worth extra compute to cut egress
+  bandwidth, so it gets both H.264 and VP9 across the full ladder.
+* ``WARM`` -- modestly watched: both formats, moderate effort.
+* ``COLD`` -- the long tail: minimize transcode + storage cost while
+  keeping playability, so H.264 only.
+
+Before the VCU, VP9 was only produced *after* a video proved popular
+(cheap batch CPU); with VCUs both formats are produced at upload
+(Section 4.5) -- the ``vp9_at_upload`` flag switches between the eras.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.video.frame import Resolution, output_ladder
+
+
+class PopularityBucket(enum.Enum):
+    HOT = "hot"
+    WARM = "warm"
+    COLD = "cold"
+
+
+#: Fraction of uploads per bucket (head is tiny; the tail is most videos).
+BUCKET_UPLOAD_FRACTIONS: Dict[PopularityBucket, float] = {
+    PopularityBucket.HOT: 0.01,
+    PopularityBucket.WARM: 0.14,
+    PopularityBucket.COLD: 0.85,
+}
+
+#: Fraction of watch time per bucket (the head dominates).
+BUCKET_WATCH_FRACTIONS: Dict[PopularityBucket, float] = {
+    PopularityBucket.HOT: 0.70,
+    PopularityBucket.WARM: 0.25,
+    PopularityBucket.COLD: 0.05,
+}
+
+
+@dataclass(frozen=True)
+class LadderPolicy:
+    """Which (format, resolution) variants a video gets."""
+
+    #: With VCUs, VP9 is affordable at upload time for non-tail videos.
+    vp9_at_upload: bool = True
+
+    def formats_for(self, bucket: PopularityBucket) -> List[str]:
+        if bucket is PopularityBucket.COLD:
+            return ["h264"]
+        if self.vp9_at_upload:
+            return ["h264", "vp9"]
+        # Software era: VP9 deferred to post-hoc batch for popular videos.
+        return ["h264"]
+
+    def variants(
+        self, source: Resolution, bucket: PopularityBucket
+    ) -> List[Tuple[str, Resolution]]:
+        """All (codec, resolution) outputs for one source video."""
+        ladder = output_ladder(source)
+        return [(codec, rung) for codec in self.formats_for(bucket) for rung in ladder]
+
+
+def variants_for(
+    source: Resolution,
+    bucket: PopularityBucket,
+    policy: LadderPolicy = LadderPolicy(),
+) -> List[Tuple[str, Resolution]]:
+    """Convenience wrapper over :meth:`LadderPolicy.variants`."""
+    return policy.variants(source, bucket)

@@ -1,0 +1,53 @@
+"""Workload classes and their encoding modes / latency targets.
+
+The platform serves several video-centric workloads with wildly different
+end-to-end latency requirements (Section 2.2): from YouTube Live's ~100 ms
+steps to batch upload processing measured in minutes-to-hours, plus
+Stadia's interactive encoding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.vcu.spec import EncodingMode
+
+
+class WorkloadClass(enum.Enum):
+    UPLOAD = "upload"  # YouTube uploads: offline two-pass, best quality
+    ARCHIVE = "archive"  # Photos/Drive: offline two-pass, batch priority
+    LIVE = "live"  # Live streams: lagged two-pass, bounded latency
+    GAMING = "gaming"  # Stadia: low-latency two-pass, interactive
+
+
+@dataclass(frozen=True)
+class WorkloadMode:
+    """Encoding mode plus the latency envelope for a workload class."""
+
+    mode: EncodingMode
+    #: End-to-end latency target, seconds (None = throughput-oriented).
+    latency_target_seconds: float = None
+    #: Scheduling priority: lower number = more critical.
+    priority: int = 1
+
+
+WORKLOAD_MODES: Dict[WorkloadClass, WorkloadMode] = {
+    WorkloadClass.UPLOAD: WorkloadMode(
+        EncodingMode.OFFLINE_TWO_PASS, latency_target_seconds=3600.0, priority=1
+    ),
+    WorkloadClass.ARCHIVE: WorkloadMode(
+        EncodingMode.OFFLINE_TWO_PASS, latency_target_seconds=None, priority=2
+    ),
+    WorkloadClass.LIVE: WorkloadMode(
+        EncodingMode.LAGGED_TWO_PASS, latency_target_seconds=5.0, priority=0
+    ),
+    WorkloadClass.GAMING: WorkloadMode(
+        EncodingMode.LOW_LATENCY_TWO_PASS, latency_target_seconds=0.05, priority=0
+    ),
+}
+
+
+def mode_for(workload: WorkloadClass) -> WorkloadMode:
+    return WORKLOAD_MODES[workload]

@@ -1,0 +1,183 @@
+"""Step graphs: the acyclic task-dependency graph for one video.
+
+Processing starts by deciding output variants, then building a DAG whose
+nodes are variable-sized "steps" (Section 2.2): per-chunk transcodes (MOT
+or SOT), non-transcoding work (thumbnails, fingerprinting, search
+signals), and a final assembly step gated on every transcode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.transcode.ladder import LadderPolicy, PopularityBucket
+from repro.transcode.modes import WorkloadClass, mode_for
+from repro.vcu.chip import VcuTask
+from repro.vcu.spec import EncodingMode
+from repro.video.frame import Resolution
+from repro.video.gop import Chunk, chunk_metadata
+
+
+class StepKind(enum.Enum):
+    TRANSCODE = "transcode"
+    THUMBNAIL = "thumbnail"
+    FINGERPRINT = "fingerprint"
+    SEARCH_SIGNALS = "search_signals"
+    ASSEMBLE = "assemble"
+
+
+@dataclass(eq=False)
+class Step:
+    """One schedulable unit of work (identity semantics: two steps are
+    never "equal", they are the same object or different work)."""
+
+    step_id: str
+    kind: StepKind
+    video_id: str
+    #: For TRANSCODE steps: the accelerator task description.
+    vcu_task: Optional[VcuTask] = None
+    #: For CPU steps: core-seconds of work.
+    cpu_core_seconds: float = 0.0
+    depends_on: List["Step"] = field(default_factory=list)
+    #: Filled by the cluster: which VCU processed it (fault correlation,
+    #: Section 4.4 records the VCUs each chunk ran on).
+    processed_by: Optional[str] = None
+    attempts: int = 0
+    corrupt_output: bool = False
+    #: Force the legacy software path (pre-VCU era workload share).
+    software_only: bool = False
+
+    def is_transcode(self) -> bool:
+        return self.kind is StepKind.TRANSCODE
+
+
+@dataclass
+class StepGraph:
+    """The DAG for one video, plus bookkeeping the cluster updates."""
+
+    video_id: str
+    steps: List[Step]
+    workload: WorkloadClass
+    submitted_at: float = 0.0
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self._validate_acyclic()
+
+    def transcode_steps(self) -> List[Step]:
+        return [s for s in self.steps if s.is_transcode()]
+
+    def output_megapixels(self) -> float:
+        return sum(s.vcu_task.output_pixels for s in self.transcode_steps()) / 1e6
+
+    def _validate_acyclic(self) -> None:
+        seen: Dict[int, int] = {}  # id -> 0 visiting, 1 done
+
+        def visit(step: Step) -> None:
+            state = seen.get(id(step))
+            if state == 0:
+                raise ValueError(f"dependency cycle through step {step.step_id}")
+            if state == 1:
+                return
+            seen[id(step)] = 0
+            for dep in step.depends_on:
+                visit(dep)
+            seen[id(step)] = 1
+
+        for step in self.steps:
+            visit(step)
+
+
+
+def build_transcode_graph(
+    video_id: str,
+    source: Resolution,
+    total_frames: int,
+    fps: float,
+    workload: WorkloadClass = WorkloadClass.UPLOAD,
+    bucket: PopularityBucket = PopularityBucket.WARM,
+    policy: LadderPolicy = LadderPolicy(),
+    use_mot: bool = True,
+    gop_frames: int = 150,
+    software_decode: bool = False,
+) -> StepGraph:
+    """Build the full step graph for one uploaded video.
+
+    With ``use_mot`` each (chunk, codec) pair becomes one MOT step encoding
+    the whole ladder; otherwise each (chunk, codec, rung) is its own SOT
+    step re-decoding the input (Figure 2).
+    """
+    chunks = chunk_metadata(video_id, total_frames, fps, source, gop_frames)
+    mode = mode_for(workload).mode
+    variants = policy.variants(source, bucket)
+    by_codec: Dict[str, List[Resolution]] = {}
+    for codec, rung in variants:
+        by_codec.setdefault(codec, []).append(rung)
+
+    steps: List[Step] = []
+    transcode_steps: List[Step] = []
+    for chunk in chunks:
+        for codec, ladder in by_codec.items():
+            if use_mot:
+                transcode_steps.append(
+                    _transcode_step(chunk, codec, ladder, mode, True, software_decode)
+                )
+            else:
+                for rung in ladder:
+                    transcode_steps.append(
+                        _transcode_step(chunk, codec, [rung], mode, False, software_decode)
+                    )
+    steps.extend(transcode_steps)
+
+    for kind, core_seconds in (
+        (StepKind.THUMBNAIL, 2.0),
+        (StepKind.FINGERPRINT, 6.0),
+        (StepKind.SEARCH_SIGNALS, 4.0),
+    ):
+        steps.append(
+            Step(
+                step_id=f"{video_id}/{kind.value}",
+                kind=kind,
+                video_id=video_id,
+                cpu_core_seconds=core_seconds * total_frames / 1800.0,
+            )
+        )
+
+    assemble = Step(
+        step_id=f"{video_id}/assemble",
+        kind=StepKind.ASSEMBLE,
+        video_id=video_id,
+        cpu_core_seconds=0.5,
+        depends_on=list(transcode_steps),
+    )
+    steps.append(assemble)
+    return StepGraph(video_id=video_id, steps=steps, workload=workload)
+
+
+def _transcode_step(
+    chunk: Chunk,
+    codec: str,
+    outputs: Sequence[Resolution],
+    mode: EncodingMode,
+    is_mot: bool,
+    software_decode: bool,
+) -> Step:
+    task = VcuTask(
+        codec=codec,
+        mode=mode,
+        input_resolution=chunk.nominal,
+        outputs=list(outputs),
+        frame_count=chunk.frame_count,
+        fps=chunk.fps,
+        is_mot=is_mot,
+        software_decode=software_decode,
+    )
+    suffix = "mot" if is_mot else f"sot-{outputs[0].name}"
+    return Step(
+        step_id=f"{chunk.chunk_id}/{codec}/{suffix}",
+        kind=StepKind.TRANSCODE,
+        video_id=chunk.video_id,
+        vcu_task=task,
+    )

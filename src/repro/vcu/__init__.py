@@ -1,0 +1,57 @@
+"""The VCU accelerator model: chips, cores, memory system, firmware, hosts.
+
+This package models the paper's hardware at the level its evaluation needs:
+throughput, bandwidth, capacity, and utilization.  Components:
+
+* :mod:`~repro.vcu.spec` -- speeds & feeds calibrated to Section 3.3.1 and
+  Appendix A (encoder core 2160p60 realtime, 4x32b LPDDR4-3200, 8 GiB...).
+* :mod:`~repro.vcu.framebuf` -- a *functional* lossless frame-buffer
+  compressor (DPCM + exp-Golomb cost) that really achieves ~2x on video
+  planes, backing the "~50% reference-read bandwidth" claim.
+* :mod:`~repro.vcu.reference_store` -- the SRAM motion-search window with
+  LRU eviction; counts DRAM fetches so store sizing can be ablated.
+* :mod:`~repro.vcu.cores` -- encoder/decoder core performance models
+  (pixel rates by codec and encoding mode, DRAM bytes per pixel).
+* :mod:`~repro.vcu.chip` -- a VCU ASIC: 10 encoder + 3 decoder cores,
+  DRAM bandwidth/capacity as schedulable resources, task cost estimation.
+* :mod:`~repro.vcu.firmware` -- userspace command queues with round-robin
+  dispatch onto stateless, interchangeable cores.
+* :mod:`~repro.vcu.host` -- cards, trays, and the 20-VCU host with its
+  NIC, PCIe, and NUMA model.
+* :mod:`~repro.vcu.telemetry` -- per-VCU health/fault counters feeding the
+  failure-management stack.
+"""
+
+from repro.vcu.spec import (
+    DEFAULT_HOST_SPEC,
+    DEFAULT_VCU_SPEC,
+    EncodingMode,
+    HostSpec,
+    VcuSpec,
+)
+from repro.vcu.cores import DecoderCoreModel, EncoderCoreModel
+from repro.vcu.chip import Vcu, VcuTask
+from repro.vcu.firmware import CommandKind, FirmwareCommand, VcuFirmware, WorkQueue
+from repro.vcu.host import VcuCard, VcuHost, VcuTray
+from repro.vcu.telemetry import FaultKind, VcuTelemetry
+
+__all__ = [
+    "VcuSpec",
+    "HostSpec",
+    "EncodingMode",
+    "DEFAULT_VCU_SPEC",
+    "DEFAULT_HOST_SPEC",
+    "EncoderCoreModel",
+    "DecoderCoreModel",
+    "Vcu",
+    "VcuTask",
+    "VcuFirmware",
+    "WorkQueue",
+    "FirmwareCommand",
+    "CommandKind",
+    "VcuCard",
+    "VcuTray",
+    "VcuHost",
+    "VcuTelemetry",
+    "FaultKind",
+]

@@ -1,0 +1,112 @@
+"""Encoder and decoder core performance models.
+
+The encoder core model covers what the evaluation depends on: effective
+pixel rate by codec and encoding mode, DRAM traffic per processed pixel,
+and a pipeline-stage model showing why FIFO decoupling matters (pipeline
+stages are balanced for *expected* throughput but block/mode variability
+would stall a rigid pipeline -- Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.vcu.spec import EncodingMode, VcuSpec
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One encoder pipeline stage: mean cycles per macroblock plus the
+    coefficient of variation of that cost across blocks/modes."""
+
+    name: str
+    mean_cycles_per_block: float
+    cost_variability: float  # std/mean of per-block cycles
+
+
+#: The three-stage functional pipeline of Figure 4.  Motion estimation /
+#: RDO dominates and is the most variable; entropy coding is
+#: sequential-logic heavy; reconstruction/loop-filter is steady.
+DEFAULT_PIPELINE: List[PipelineStage] = [
+    PipelineStage("motion_estimation_rdo", mean_cycles_per_block=6600, cost_variability=0.55),
+    PipelineStage("entropy_decode_filter", mean_cycles_per_block=6400, cost_variability=0.40),
+    PipelineStage("reconstruction_compress", mean_cycles_per_block=5800, cost_variability=0.15),
+]
+
+
+def pipeline_efficiency(
+    stages: Sequence[PipelineStage] = tuple(DEFAULT_PIPELINE),
+    fifo_depth: int = 8,
+) -> float:
+    """Fraction of bottleneck-stage throughput the pipeline achieves.
+
+    With no decoupling, every stage stalls on the instantaneous slowest
+    stage, so throughput degrades with the summed variability; each doubling
+    of FIFO depth absorbs roughly half of the remaining variability penalty.
+    This is a standard queueing-flavoured approximation, good enough to
+    rank the design choice (it is ablated in the benchmarks, not used to
+    produce Table 1 numbers).
+    """
+    if fifo_depth < 0:
+        raise ValueError("fifo_depth must be >= 0")
+    variability = max(stage.cost_variability for stage in stages)
+    penalty = variability / (1.0 + fifo_depth)
+    return 1.0 / (1.0 + penalty)
+
+
+@dataclass(frozen=True)
+class EncoderCoreModel:
+    """Performance model for one encoder core."""
+
+    spec: VcuSpec = field(default_factory=VcuSpec)
+
+    def pixel_rate(self, codec: str, mode: EncodingMode) -> float:
+        """Sustained encode rate, pixels per second."""
+        return self.spec.encode_rate(codec, mode)
+
+    def encode_seconds(self, output_pixels: float, codec: str, mode: EncodingMode) -> float:
+        """Core-seconds to encode ``output_pixels`` at full quality."""
+        if output_pixels < 0:
+            raise ValueError("output_pixels must be >= 0")
+        return output_pixels / self.pixel_rate(codec, mode)
+
+    def dram_bytes(
+        self, pixels: float, reference_compression: bool = True, worst_case: bool = False
+    ) -> float:
+        """DRAM traffic to encode ``pixels``.
+
+        Reference compression halves reference reads; disabling it (the
+        ablation) reverts to the raw per-pixel traffic.
+        """
+        spec = self.spec
+        if not reference_compression:
+            per_pixel = spec.encode_bytes_per_pixel_raw
+        elif worst_case:
+            per_pixel = spec.encode_bytes_per_pixel_worst
+        else:
+            per_pixel = spec.encode_bytes_per_pixel_typical
+        return pixels * per_pixel
+
+    def realtime_fps(self, codec: str, width: int, height: int, mode: EncodingMode) -> float:
+        """Frames per second one core sustains at a resolution."""
+        return self.pixel_rate(codec, mode) / (width * height)
+
+
+@dataclass(frozen=True)
+class DecoderCoreModel:
+    """Performance model for one (off-the-shelf, ECC-hardened) decoder core."""
+
+    spec: VcuSpec = field(default_factory=VcuSpec)
+
+    def pixel_rate(self) -> float:
+        return self.spec.decode_pixel_rate
+
+    def decode_seconds(self, input_pixels: float) -> float:
+        if input_pixels < 0:
+            raise ValueError("input_pixels must be >= 0")
+        return input_pixels / self.spec.decode_pixel_rate
+
+    def dram_bytes(self, seconds_active: float) -> float:
+        """Decoder DRAM traffic: a steady 2.2 GiB/s while active."""
+        return seconds_active * self.spec.decoder_bandwidth

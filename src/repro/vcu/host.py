@@ -1,0 +1,127 @@
+"""Cards, trays, and the 20-VCU accelerator host (Section 3.3.1).
+
+The physical hierarchy matters to failure management: the *rack* is the
+unit of deployment, the card/chassis/cable is the unit of repair, each
+VCU has an independent power rail (so a VCU can be disabled alone), and a
+host accumulates component faults until it is marked unusable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.vcu.chip import Vcu
+from repro.vcu.spec import HostSpec, VcuSpec
+
+
+class VcuCard:
+    """A full-length PCIe card carrying two VCU ASICs."""
+
+    _ids = itertools.count()
+
+    def __init__(self, spec: VcuSpec = None, host_spec: HostSpec = None):
+        spec = spec or VcuSpec()
+        host_spec = host_spec or HostSpec()
+        self.card_id = f"card-{next(self._ids)}"
+        self.vcus = [
+            Vcu(spec, vcu_id=f"{self.card_id}/vcu{i}")
+            for i in range(host_spec.vcus_per_card)
+        ]
+
+    def healthy_vcus(self) -> List[Vcu]:
+        return [v for v in self.vcus if not v.disabled]
+
+
+class VcuTray:
+    """An accelerator expansion chassis holding five cards."""
+
+    _ids = itertools.count()
+
+    def __init__(self, spec: VcuSpec = None, host_spec: HostSpec = None):
+        host_spec = host_spec or HostSpec()
+        self.tray_id = f"tray-{next(self._ids)}"
+        self.cards = [
+            VcuCard(spec, host_spec) for _ in range(host_spec.cards_per_tray)
+        ]
+
+    @property
+    def vcus(self) -> List[Vcu]:
+        return [vcu for card in self.cards for vcu in card.vcus]
+
+
+class VcuHost:
+    """One accelerator host: 2 trays x 5 cards x 2 VCUs = 20 VCUs.
+
+    ``numa_aware`` gates the post-launch NUMA scheduling fix; the
+    oblivious configuration pays :attr:`HostSpec.numa_penalty` on
+    throughput (Section 4.3: fixing it gained 16-25%).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        spec: VcuSpec = None,
+        host_spec: HostSpec = None,
+        numa_aware: bool = True,
+        host_id: Optional[str] = None,
+    ):
+        self.spec = spec or VcuSpec()
+        self.host_spec = host_spec or HostSpec()
+        self.host_id = host_id or f"host-{next(self._ids)}"
+        self.numa_aware = numa_aware
+        self.trays = [
+            VcuTray(self.spec, self.host_spec)
+            for _ in range(self.host_spec.trays_per_host)
+        ]
+        self.unusable = False
+        self.component_faults = 0
+        #: Faults before the host is queued for repair (dozens of discrete
+        #: components; a handful of hard faults takes it out).
+        self.fault_budget = 6
+
+    @property
+    def vcus(self) -> List[Vcu]:
+        return [vcu for tray in self.trays for vcu in tray.vcus]
+
+    def healthy_vcus(self) -> List[Vcu]:
+        if self.unusable:
+            return []
+        return [v for v in self.vcus if not v.disabled]
+
+    @property
+    def throughput_multiplier(self) -> float:
+        """Host-level efficiency: NUMA-oblivious scheduling costs ~17%."""
+        return 1.0 if self.numa_aware else 1.0 / self.host_spec.numa_penalty
+
+    def record_component_fault(self) -> None:
+        """A chassis/cable/PSU-level fault; enough of them disables the host."""
+        self.component_faults += 1
+        if self.component_faults >= self.fault_budget:
+            self.unusable = True
+
+    def disable_vcu(self, vcu_id: str) -> None:
+        """Disable one VCU (independent power rails make this possible)."""
+        for vcu in self.vcus:
+            if vcu.vcu_id == vcu_id:
+                vcu.disable()
+                return
+        raise KeyError(f"no VCU {vcu_id!r} on host {self.host_id}")
+
+    def sweep_telemetry(self) -> List[Vcu]:
+        """Disable any VCU whose fault counters crossed a threshold.
+
+        Returns the VCUs disabled by this sweep (the host-level fault
+        collection workflow of Section 4.4).
+        """
+        newly_disabled = []
+        for vcu in self.vcus:
+            if not vcu.disabled and vcu.telemetry.should_disable():
+                vcu.disable()
+                newly_disabled.append(vcu)
+                self.component_faults += 1
+        if self.component_faults >= self.fault_budget:
+            self.unusable = True
+        return newly_disabled

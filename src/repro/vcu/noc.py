@@ -1,0 +1,143 @@
+"""NoC and DRAM-controller arbitration model (Figure 3b, Section 3.2).
+
+The encoder cores, decoder cores, and the PCIe DMA engine share the
+LPDDR4 controllers through the network-on-chip.  Two properties of the
+design matter for throughput and are modelled here:
+
+* **Memory-level parallelism**: the encoding core's architecture
+  eliminates most hazards, so each core keeps *dozens* of memory
+  operations in flight; Little's law then says achievable bandwidth is
+  ``outstanding x request_size / latency`` until the controller's peak
+  binds.  With one outstanding request a core would starve; with deep
+  prefetch it saturates its share -- the paper's "high memory subsystem
+  latency tolerance".
+* **Fair arbitration**: a weighted round-robin arbiter shares the
+  controller so a bandwidth-hungry requester cannot starve the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.vcu.spec import VcuSpec
+
+
+@dataclass(frozen=True)
+class Requester:
+    """One NoC client: a codec core or DMA engine."""
+
+    name: str
+    #: Memory operations it keeps in flight (prefetch depth).
+    outstanding_requests: int
+    #: Bytes per memory transaction (one DRAM burst).
+    request_bytes: int = 64
+    #: Demand ceiling, bytes/s (None = will take whatever it can get).
+    demand: float = None
+    #: Arbitration weight.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.outstanding_requests < 1:
+            raise ValueError("need at least one outstanding request")
+        if self.request_bytes < 1:
+            raise ValueError("request_bytes must be >= 1")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    def mlp_bandwidth_limit(self, latency_seconds: float) -> float:
+        """Little's-law bandwidth ceiling from memory-level parallelism."""
+        if latency_seconds <= 0:
+            raise ValueError("latency must be positive")
+        return self.outstanding_requests * self.request_bytes / latency_seconds
+
+
+@dataclass
+class ArbitrationResult:
+    """Granted bandwidth per requester plus controller utilization."""
+
+    grants: Dict[str, float]
+    peak_bandwidth: float
+
+    @property
+    def total_granted(self) -> float:
+        return sum(self.grants.values())
+
+    @property
+    def utilization(self) -> float:
+        return self.total_granted / self.peak_bandwidth
+
+
+def arbitrate(
+    requesters: Sequence[Requester],
+    peak_bandwidth: float,
+    dram_latency_seconds: float = 150e-9,
+) -> ArbitrationResult:
+    """Weighted max-min fair sharing of the memory controller.
+
+    Each requester is capped by its own MLP limit (and demand, if set);
+    unclaimed bandwidth redistributes to requesters that can still use it
+    -- the water-filling algorithm behind weighted fair queueing.
+    """
+    if peak_bandwidth <= 0:
+        raise ValueError("peak bandwidth must be positive")
+    names = [r.name for r in requesters]
+    if len(set(names)) != len(names):
+        raise ValueError("requester names must be unique")
+
+    caps = {
+        r.name: min(
+            r.mlp_bandwidth_limit(dram_latency_seconds),
+            r.demand if r.demand is not None else float("inf"),
+        )
+        for r in requesters
+    }
+    grants = {r.name: 0.0 for r in requesters}
+    active = {r.name: r for r in requesters}
+    remaining = peak_bandwidth
+    while active and remaining > 1e-6:
+        total_weight = sum(r.weight for r in active.values())
+        next_active = {}
+        consumed = 0.0
+        for name, requester in active.items():
+            fair_share = remaining * requester.weight / total_weight
+            headroom = caps[name] - grants[name]
+            take = min(fair_share, headroom)
+            grants[name] += take
+            consumed += take
+            if caps[name] - grants[name] > 1e-6:
+                next_active[name] = requester
+        if consumed <= 1e-9:
+            break
+        remaining -= consumed
+        active = next_active
+    return ArbitrationResult(grants=grants, peak_bandwidth=peak_bandwidth)
+
+
+def vcu_requesters(
+    spec: VcuSpec = None,
+    encoder_outstanding: int = 32,
+    decoder_outstanding: int = 16,
+) -> List[Requester]:
+    """The VCU's NoC clients at full realtime load."""
+    spec = spec or VcuSpec()
+    requesters = [
+        Requester(
+            name=f"enc{i}",
+            outstanding_requests=encoder_outstanding,
+            demand=spec.encode_pixel_rate["h264"] * spec.encode_bytes_per_pixel_typical,
+        )
+        for i in range(spec.encoder_cores)
+    ]
+    requesters += [
+        Requester(
+            name=f"dec{i}",
+            outstanding_requests=decoder_outstanding,
+            demand=spec.decoder_bandwidth,
+        )
+        for i in range(spec.decoder_cores)
+    ]
+    requesters.append(
+        Requester(name="dma", outstanding_requests=8, demand=2e9, weight=0.5)
+    )
+    return requesters

@@ -1,0 +1,119 @@
+"""The SRAM reference store with LRU eviction (Section 3.2).
+
+The motion-search window lives in a 144K-pixel SRAM array (768 x 192):
+wide enough for a 512-pixel tile column plus a 128-pixel horizontal search
+margin each side, tall enough for the 64-pixel macroblock row plus two
+64-pixel vertical windows.  Sized right, each reference pixel is fetched
+from DRAM at most once per tile column and twice per frame.
+
+The model is a functional block cache: lookups are in units of aligned
+macroblock tiles, misses count DRAM traffic, and eviction is true LRU.
+``tests/test_vcu_reference_store.py`` checks the paper's fetch-bound
+property, and the ablation bench shrinks the store to show bandwidth blow
+up.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Default geometry from the paper (footnote 4).
+DEFAULT_STORE_PIXELS = 768 * 192
+#: Tile granularity tracked by the store (one 64x64 superblock's worth of
+#: reference pixels is fetched as 16 of these 64x16 sub-tiles).
+TILE_WIDTH = 64
+TILE_HEIGHT = 16
+TILE_PIXELS = TILE_WIDTH * TILE_HEIGHT
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting in pixels."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def dram_pixels_fetched(self) -> int:
+        return self.misses * TILE_PIXELS
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ReferenceStore:
+    """An LRU cache of reference-frame tiles, capacity in pixels."""
+
+    def __init__(self, capacity_pixels: int = DEFAULT_STORE_PIXELS):
+        if capacity_pixels < TILE_PIXELS:
+            raise ValueError("store must hold at least one tile")
+        self.capacity_tiles = capacity_pixels // TILE_PIXELS
+        self._tiles: "OrderedDict[Tuple[int, int, int], None]" = OrderedDict()
+        self.stats = StoreStats()
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def access(self, ref_id: int, tile_y: int, tile_x: int) -> bool:
+        """Touch one tile; returns True on hit, False on a DRAM fetch."""
+        key = (ref_id, tile_y, tile_x)
+        if key in self._tiles:
+            self._tiles.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._tiles[key] = None
+        if len(self._tiles) > self.capacity_tiles:
+            self._tiles.popitem(last=False)  # evict true LRU
+        return False
+
+    def access_window(
+        self, ref_id: int, centre_y: int, centre_x: int,
+        window_height: int, window_width: int,
+    ) -> int:
+        """Touch every tile overlapping a search window; returns misses."""
+        misses = 0
+        y0 = max(0, centre_y - window_height // 2)
+        x0 = max(0, centre_x - window_width // 2)
+        for tile_y in range(y0 // TILE_HEIGHT, (y0 + window_height - 1) // TILE_HEIGHT + 1):
+            for tile_x in range(x0 // TILE_WIDTH, (x0 + window_width - 1) // TILE_WIDTH + 1):
+                if not self.access(ref_id, tile_y, tile_x):
+                    misses += 1
+        return misses
+
+    def reset_stats(self) -> None:
+        self.stats = StoreStats()
+
+
+def simulate_tile_column_walk(
+    store: ReferenceStore,
+    frame_height: int,
+    column_width: int = 512,
+    search_margin: int = 128,
+    macroblock: int = 64,
+    references: int = 1,
+) -> StoreStats:
+    """Walk a tile column top-to-bottom as the encoder pipeline does.
+
+    For each macroblock row the motion-search window (column width plus the
+    horizontal margins, two vertical windows) is touched in every
+    reference.  With the default store geometry this fetches each pixel
+    from DRAM at most once per column.
+    """
+    store.reset_stats()
+    window_width = column_width + 2 * search_margin
+    window_height = 3 * macroblock
+    for row in range(0, frame_height, macroblock):
+        for ref_id in range(references):
+            store.access_window(
+                ref_id,
+                centre_y=row + macroblock // 2,
+                centre_x=window_width // 2,
+                window_height=window_height,
+                window_width=window_width,
+            )
+    return store.stats

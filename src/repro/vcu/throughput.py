@@ -1,0 +1,152 @@
+"""Analytic steady-state VCU throughput (the Table 1 / Figure 8 model).
+
+A VCU saturated with transcoding work is limited by whichever runs out
+first: encoder core-seconds, decoder core-seconds, or DRAM bandwidth.
+These functions compute the binding constraint for SOT and MOT workloads
+and report throughput in the paper's Mpix/s (output pixels per second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.vcu.spec import (
+    SHARED_ANALYSIS_FRACTION,
+    EncodingMode,
+    VcuSpec,
+)
+from repro.video.frame import Resolution, output_ladder
+
+#: Decode passes by mode: two-pass offline re-decodes the source for the
+#: second pass (device DRAM cannot hold a whole raw chunk, Appendix A.4).
+def decode_passes(mode: EncodingMode) -> int:
+    return 2 if mode is EncodingMode.OFFLINE_TWO_PASS else 1
+
+
+@dataclass(frozen=True)
+class ThroughputBreakdown:
+    """Per-constraint throughput limits; the minimum binds."""
+
+    encoder_limit: float  # output Mpix/s if only encoder cores bound
+    decoder_limit: float
+    dram_limit: float
+
+    @property
+    def throughput(self) -> float:
+        return min(self.encoder_limit, self.decoder_limit, self.dram_limit)
+
+    @property
+    def binding_constraint(self) -> str:
+        limits = {
+            "encoder": self.encoder_limit,
+            "decoder": self.decoder_limit,
+            "dram": self.dram_limit,
+        }
+        return min(limits, key=limits.get)
+
+
+def _throughput(
+    spec: VcuSpec,
+    codec: str,
+    mode: EncodingMode,
+    output_pixels: float,
+    input_pixels: float,
+    encode_cost_pixels: float,
+    reference_compression: bool = True,
+) -> ThroughputBreakdown:
+    """Common core: all quantities are per unit of task (one frame-set)."""
+    encode_rate = spec.encoder_cores * spec.encode_rate(codec, mode)
+    decode_rate = spec.decoder_cores * spec.decode_pixel_rate
+
+    encoder_limit = encode_rate * output_pixels / encode_cost_pixels
+    decode_demand = decode_passes(mode) * input_pixels
+    decoder_limit = (
+        decode_rate * output_pixels / decode_demand if decode_demand else float("inf")
+    )
+
+    if reference_compression:
+        encode_bytes = encode_cost_pixels * spec.encode_bytes_per_pixel_typical
+    else:
+        encode_bytes = encode_cost_pixels * spec.encode_bytes_per_pixel_raw
+    # Decoder bandwidth: 2.2 GiB/s while active, i.e. per decoded pixel at
+    # the decoder's pixel rate.
+    decode_bytes = decode_demand * spec.decoder_bandwidth / spec.decode_pixel_rate
+    bytes_per_output_pixel = (encode_bytes + decode_bytes) / output_pixels
+    dram_limit = spec.effective_dram_bandwidth / bytes_per_output_pixel
+
+    scale = 1e6  # report Mpix/s
+    return ThroughputBreakdown(
+        encoder_limit=encoder_limit / scale,
+        decoder_limit=decoder_limit / scale,
+        dram_limit=dram_limit / scale,
+    )
+
+
+def sot_throughput(
+    spec: VcuSpec,
+    codec: str,
+    mode: EncodingMode,
+    input_resolution: Resolution,
+    output_resolution: Resolution = None,
+    reference_compression: bool = True,
+) -> ThroughputBreakdown:
+    """Single-output transcode throughput per VCU (default: same-res out)."""
+    output_resolution = output_resolution or input_resolution
+    out_px = float(output_resolution.pixels)
+    in_px = float(input_resolution.pixels)
+    return _throughput(
+        spec, codec, mode,
+        output_pixels=out_px,
+        input_pixels=in_px,
+        encode_cost_pixels=out_px,
+        reference_compression=reference_compression,
+    )
+
+
+def mot_throughput(
+    spec: VcuSpec,
+    codec: str,
+    mode: EncodingMode,
+    input_resolution: Resolution,
+    outputs: Sequence[Resolution] = None,
+    reference_compression: bool = True,
+) -> ThroughputBreakdown:
+    """Multiple-output transcode throughput per VCU.
+
+    Decoding happens once for the whole ladder, and two-pass source
+    analysis is shared across outputs, discounting per-output encode cost
+    by :data:`SHARED_ANALYSIS_FRACTION` (this is MOT's 1.2-1.3x win).
+    """
+    if outputs is None:
+        ladder: List[Resolution] = output_ladder(input_resolution)
+    else:
+        ladder = list(outputs)
+    if not ladder:
+        raise ValueError("MOT needs at least one output")
+    out_px = float(sum(r.pixels for r in ladder))
+    in_px = float(input_resolution.pixels)
+    shared = SHARED_ANALYSIS_FRACTION if mode is not EncodingMode.LOW_LATENCY_ONE_PASS else 0.0
+    encode_cost = out_px * (1.0 - shared)
+    return _throughput(
+        spec, codec, mode,
+        output_pixels=out_px,
+        input_pixels=in_px,
+        encode_cost_pixels=encode_cost,
+        reference_compression=reference_compression,
+    )
+
+
+def vbench_sot_system_throughput(
+    spec: VcuSpec, codec: str, vcus: int, mode: EncodingMode = EncodingMode.OFFLINE_TWO_PASS
+) -> float:
+    """System Mpix/s for the Table 1 SOT benchmark configuration.
+
+    The vbench load keeps every VCU saturated with parallel same-resolution
+    SOT transcodes, so the per-VCU figure scales linearly with VCU count
+    (VCU hosts run nothing else, Appendix A).
+    """
+    from repro.video.frame import resolution
+
+    per_vcu = sot_throughput(spec, codec, mode, resolution("1080p")).throughput
+    return per_vcu * vcus

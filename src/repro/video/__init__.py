@@ -1,0 +1,39 @@
+"""Video substrate: resolutions, frames, synthetic content, GOPs, vbench.
+
+The paper evaluates on real video (the public vbench suite plus YouTube
+production uploads).  Neither is available offline, so this package supplies
+a synthetic stand-in: a deterministic content generator whose difficulty
+axes (motion, spatial detail, noise, scene changes) span the same space
+vbench was designed to cover, and a :mod:`~repro.video.vbench` module that
+instantiates the 15 vbench titles with per-title difficulty parameters.
+"""
+
+from repro.video.frame import (
+    LADDER,
+    RESOLUTIONS,
+    Frame,
+    RawVideo,
+    Resolution,
+    output_ladder,
+    resolution,
+)
+from repro.video.content import ContentSpec, SyntheticVideo
+from repro.video.gop import Chunk, chunk_video
+from repro.video.vbench import VBENCH_SUITE, VbenchVideo, vbench_video
+
+__all__ = [
+    "Resolution",
+    "RESOLUTIONS",
+    "LADDER",
+    "resolution",
+    "output_ladder",
+    "Frame",
+    "RawVideo",
+    "ContentSpec",
+    "SyntheticVideo",
+    "Chunk",
+    "chunk_video",
+    "VBENCH_SUITE",
+    "VbenchVideo",
+    "vbench_video",
+]

@@ -1,0 +1,101 @@
+"""A synthetic stand-in for the vbench benchmark suite.
+
+vbench (Lottarini et al., ASPLOS '18) is 15 representative videos spanning a
+3-axis space of resolution, frame rate, and entropy.  The real clips are not
+available offline, so each title here is a :class:`~repro.video.content.ContentSpec`
+whose difficulty parameters were chosen to land the title in the right part
+of Figure 7: screen-content titles (``presentation``, ``desktop``) are very
+easy -- near-static, low noise -- while ``holi`` (a festival scene full of
+flying colour powder) is the hardest, with heavy motion and incompressible
+noise.  Game captures sit in between with high motion but clean frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.rng import SeedLike
+from repro.video.content import ContentSpec, SyntheticVideo
+from repro.video.frame import RawVideo
+
+
+@dataclass(frozen=True)
+class VbenchVideo:
+    """One vbench title: its content spec plus suite bookkeeping."""
+
+    spec: ContentSpec
+    #: Relative difficulty rank used in tests/documentation (0 = easiest).
+    difficulty_rank: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def _title(
+    name: str,
+    rank: int,
+    resolution_name: str,
+    fps: float,
+    motion: float,
+    detail: float,
+    noise: float,
+    sprites: int = 6,
+    scene_change_every: int = None,
+    flash_probability: float = 0.0,
+) -> VbenchVideo:
+    return VbenchVideo(
+        spec=ContentSpec(
+            name=name,
+            resolution_name=resolution_name,
+            fps=fps,
+            motion=motion,
+            detail=detail,
+            noise=noise,
+            sprites=sprites,
+            scene_change_every=scene_change_every,
+            flash_probability=flash_probability,
+        ),
+        difficulty_rank=rank,
+    )
+
+
+#: The 15 titles of Figure 7, ordered easy -> hard (legend order).
+VBENCH_SUITE: List[VbenchVideo] = [
+    _title("presentation", 0, "1080p", 30, motion=0.05, detail=0.15, noise=0.1, sprites=1),
+    _title("desktop", 1, "1080p", 30, motion=0.1, detail=0.2, noise=0.1, sprites=2),
+    _title("bike", 2, "720p", 30, motion=0.8, detail=0.3, noise=0.8),
+    _title("funny", 3, "480p", 30, motion=0.7, detail=0.35, noise=1.0),
+    _title("house", 4, "1080p", 30, motion=0.5, detail=0.45, noise=1.0),
+    _title("cricket", 5, "720p", 50, motion=1.2, detail=0.4, noise=1.2),
+    _title("girl", 6, "1080p", 25, motion=0.9, detail=0.5, noise=1.2),
+    _title("game_1", 7, "1080p", 60, motion=1.6, detail=0.45, noise=0.6),
+    _title("chicken", 8, "2160p", 30, motion=1.2, detail=0.55, noise=1.4),
+    _title("hall", 9, "1080p", 30, motion=1.0, detail=0.6, noise=1.5),
+    _title("game_2", 10, "720p", 60, motion=2.0, detail=0.5, noise=0.8),
+    _title("cat", 11, "1080p", 30, motion=1.4, detail=0.65, noise=1.6),
+    _title("landscape", 12, "2160p", 30, motion=1.0, detail=0.8, noise=1.8),
+    _title("game_3", 13, "1080p", 60, motion=2.4, detail=0.6, noise=1.0),
+    _title(
+        "holi", 14, "1080p", 30,
+        motion=2.6, detail=0.9, noise=3.0, sprites=12, flash_probability=0.08,
+    ),
+]
+
+_BY_NAME: Dict[str, VbenchVideo] = {v.name: v for v in VBENCH_SUITE}
+
+
+def vbench_video(name: str) -> VbenchVideo:
+    """Look up a vbench title by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown vbench title {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def materialize(
+    title: VbenchVideo, frame_count: int = 30, seed: SeedLike = 0
+) -> RawVideo:
+    """Generate the synthetic frames for a title (deterministic per seed)."""
+    return SyntheticVideo(title.spec, seed=seed).video(frame_count)

@@ -1,0 +1,31 @@
+"""Workload generators: uploads, live streams, cloud gaming, popularity.
+
+Production traces are not available, so these generators synthesize the
+workload the paper characterises in Section 2.2: stretched-power-law video
+popularity, a resolution mix dominated by <=1080p uploads, Poisson
+arrivals with diurnal shaping for uploads, long-running live streams, and
+latency-critical gaming sessions.
+"""
+
+from repro.workloads.popularity import (
+    PopularityModel,
+    bucket_for_views,
+    stretched_exponential_views,
+)
+from repro.workloads.upload import UPLOAD_RESOLUTION_MIX, UploadGenerator, UploadVideo
+from repro.workloads.live import LiveChunkResult, LiveStream, simulate_live_stream
+from repro.workloads.gaming import GamingSession, gaming_latency_ms
+
+__all__ = [
+    "PopularityModel",
+    "stretched_exponential_views",
+    "bucket_for_views",
+    "UploadGenerator",
+    "UploadVideo",
+    "UPLOAD_RESOLUTION_MIX",
+    "LiveStream",
+    "LiveChunkResult",
+    "simulate_live_stream",
+    "GamingSession",
+    "gaming_latency_ms",
+]

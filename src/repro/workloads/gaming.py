@@ -1,0 +1,63 @@
+"""Cloud gaming (Stadia): extreme low-latency encoding (Section 4.5).
+
+Stadia needs 4K 60 FPS with excellent fidelity on ~35 Mbps connections and
+an encode latency budget of a frame time or two.  The VCU's low-latency
+two-pass VP9 mode hits this: one encoder core sustains 2160p60, so each
+frame encodes in under a frame time.  Software VP9 cannot -- even at
+degraded quality settings a 4K frame takes tens to hundreds of
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cpu import SkylakeSystem
+from repro.vcu.spec import EncodingMode, VcuSpec
+from repro.video.frame import Resolution, resolution
+
+
+@dataclass(frozen=True)
+class GamingSession:
+    """One interactive session."""
+
+    resolution_name: str = "2160p"
+    fps: float = 60.0
+    bitrate_mbps: float = 35.0
+
+    @property
+    def source(self) -> Resolution:
+        return resolution(self.resolution_name)
+
+    @property
+    def frame_budget_ms(self) -> float:
+        return 1000.0 / self.fps
+
+
+def gaming_latency_ms(
+    session: GamingSession,
+    use_vcu: bool,
+    spec: VcuSpec = None,
+    cpu: SkylakeSystem = None,
+    cpu_cores: int = 16,
+) -> float:
+    """Per-frame encode latency in milliseconds.
+
+    VCU: one core in low-latency two-pass mode.  Software: a realtime-
+    tuned (4x faster than offline quality) libvpx on ``cpu_cores`` cores.
+    """
+    pixels = session.source.pixels
+    if use_vcu:
+        spec = spec or VcuSpec()
+        rate = spec.encode_rate("vp9", EncodingMode.LOW_LATENCY_TWO_PASS)
+        return pixels / rate * 1000.0
+    cpu = cpu or SkylakeSystem()
+    realtime_speedup = 4.0  # realtime presets trade quality for speed
+    per_core = cpu.per_core_throughput("vp9", session.source) * 1e6 * realtime_speedup
+    rate = per_core * cpu_cores * 0.75  # threading efficiency
+    return pixels / rate * 1000.0
+
+
+def meets_frame_budget(session: GamingSession, use_vcu: bool) -> bool:
+    """Whether encode latency fits within one frame time."""
+    return gaming_latency_ms(session, use_vcu) <= session.frame_budget_ms

@@ -1,0 +1,76 @@
+"""Video popularity: the stretched power law of Section 2.2.
+
+Internet media popularity follows a stretched exponential distribution
+(Guo et al., PODC '08): a small head of very popular videos dominates
+watch time, a modest middle earns moderate treatment, and the long tail
+of rarely-watched videos should minimize transcode + storage cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import SeedLike, make_rng
+from repro.transcode.ladder import PopularityBucket
+
+#: View-count thresholds separating the buckets.
+HOT_THRESHOLD = 100_000
+WARM_THRESHOLD = 1_000
+
+
+def stretched_exponential_views(
+    rng: np.random.Generator, count: int, scale: float = 50.0, shape: float = 0.20
+) -> np.ndarray:
+    """Sample view counts from a stretched exponential (Weibull) tail.
+
+    ``shape`` < 1 stretches the tail; the defaults give a head/middle/tail
+    split close to the paper's three-bucket description.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 0 < shape <= 1:
+        raise ValueError("shape must be in (0, 1]")
+    uniforms = rng.random(count)
+    views = scale * (-np.log1p(-uniforms)) ** (1.0 / shape)
+    return np.maximum(views, 0.0)
+
+
+def bucket_for_views(views: float) -> PopularityBucket:
+    if views >= HOT_THRESHOLD:
+        return PopularityBucket.HOT
+    if views >= WARM_THRESHOLD:
+        return PopularityBucket.WARM
+    return PopularityBucket.COLD
+
+
+@dataclass
+class PopularityModel:
+    """Samples (views, bucket) pairs and summarises fleet shares."""
+
+    seed: SeedLike = 0
+    scale: float = 50.0
+    shape: float = 0.20
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+
+    def sample_views(self, count: int = 1) -> np.ndarray:
+        return stretched_exponential_views(self._rng, count, self.scale, self.shape)
+
+    def sample_bucket(self) -> PopularityBucket:
+        return bucket_for_views(float(self.sample_views(1)[0]))
+
+    def bucket_shares(self, samples: int = 20000):
+        """Empirical (upload share, watch share) per bucket."""
+        views = self.sample_views(samples)
+        shares = {}
+        total_views = float(views.sum())
+        for bucket in PopularityBucket:
+            mask = np.array([bucket_for_views(v) is bucket for v in views])
+            shares[bucket] = (
+                float(mask.mean()),
+                float(views[mask].sum() / total_views) if total_views else 0.0,
+            )
+        return shares

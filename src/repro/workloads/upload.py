@@ -1,0 +1,132 @@
+"""The upload workload: video arrivals for YouTube/Photos/Drive ingest.
+
+Arrivals are Poisson with an optional diurnal factor; each video draws a
+source resolution from the production-like mix (most uploads are 1080p or
+below; phones dominate), a duration, and a popularity bucket that picks
+its output ladder.  ``to_graph`` turns one video into the step graph the
+cluster executes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.sim.rng import SeedLike, make_rng
+from repro.transcode.ladder import LadderPolicy, PopularityBucket
+from repro.transcode.pipeline import StepGraph, build_transcode_graph
+from repro.transcode.modes import WorkloadClass
+from repro.video.frame import Resolution, resolution
+from repro.workloads.popularity import PopularityModel
+
+#: Source resolution mix for uploads (phones dominate; 4K is rare).
+UPLOAD_RESOLUTION_MIX: Dict[str, float] = {
+    "360p": 0.08,
+    "480p": 0.17,
+    "720p": 0.30,
+    "1080p": 0.35,
+    "1440p": 0.04,
+    "2160p": 0.06,
+}
+
+
+@dataclass(frozen=True)
+class UploadVideo:
+    """One arriving upload."""
+
+    video_id: str
+    arrival_time: float
+    source: Resolution
+    duration_seconds: float
+    fps: float
+    bucket: PopularityBucket
+
+    @property
+    def total_frames(self) -> int:
+        return max(1, int(self.duration_seconds * self.fps))
+
+
+class UploadGenerator:
+    """Poisson arrivals of uploads with a diurnal rate envelope."""
+
+    def __init__(
+        self,
+        arrivals_per_second: float,
+        seed: SeedLike = 0,
+        mix: Dict[str, float] = None,
+        mean_duration_seconds: float = 240.0,
+        diurnal_amplitude: float = 0.0,
+    ):
+        if arrivals_per_second <= 0:
+            raise ValueError("arrivals_per_second must be positive")
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        self.rate = arrivals_per_second
+        self.mix = dict(mix or UPLOAD_RESOLUTION_MIX)
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"resolution mix must sum to 1, got {total}")
+        self.mean_duration = mean_duration_seconds
+        self.diurnal_amplitude = diurnal_amplitude
+        self._rng = make_rng(seed)
+        self._popularity = PopularityModel(seed=self._rng.integers(0, 2**31))
+        self._names = list(self.mix)
+        self._weights = np.array([self.mix[n] for n in self._names])
+        self._counter = 0
+
+    def _rate_at(self, t: float) -> float:
+        if self.diurnal_amplitude == 0:
+            return self.rate
+        phase = 2 * math.pi * (t % 86400.0) / 86400.0
+        return self.rate * (1.0 + self.diurnal_amplitude * math.sin(phase))
+
+    def videos(self, until: float) -> Iterator[UploadVideo]:
+        """Generate arrivals up to virtual time ``until`` (thinning method)."""
+        peak = self.rate * (1.0 + self.diurnal_amplitude)
+        t = 0.0
+        while True:
+            t += float(self._rng.exponential(1.0 / peak))
+            if t >= until:
+                return
+            if self._rng.random() > self._rate_at(t) / peak:
+                continue  # thinned out by the diurnal envelope
+            yield self.sample_video(t)
+
+    def sample_video(self, t: float = 0.0) -> UploadVideo:
+        """Draw one video (resolution, duration, popularity) arriving at ``t``."""
+        name = self._names[int(self._rng.choice(len(self._names), p=self._weights))]
+        duration = float(self._rng.exponential(self.mean_duration)) + 10.0
+        fps = float(self._rng.choice([24.0, 30.0, 30.0, 60.0]))
+        self._counter += 1
+        return UploadVideo(
+            video_id=f"v{self._counter}",
+            arrival_time=t,
+            source=resolution(name),
+            duration_seconds=duration,
+            fps=fps,
+            bucket=self._popularity.sample_bucket(),
+        )
+
+    def to_graph(
+        self,
+        video: UploadVideo,
+        policy: LadderPolicy = LadderPolicy(),
+        use_mot: bool = True,
+        software_decode: bool = False,
+        gop_frames: int = 150,
+    ) -> StepGraph:
+        return build_transcode_graph(
+            video_id=video.video_id,
+            source=video.source,
+            total_frames=video.total_frames,
+            fps=video.fps,
+            workload=WorkloadClass.UPLOAD,
+            bucket=video.bucket,
+            policy=policy,
+            use_mot=use_mot,
+            gop_frames=gop_frames,
+            software_decode=software_decode,
+        )

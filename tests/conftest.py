@@ -1,0 +1,31 @@
+"""Shared fixtures: small, fast synthetic videos for codec-level tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.video.content import ContentSpec, SyntheticVideo
+
+
+@pytest.fixture(scope="session")
+def tiny_video():
+    """A 5-frame, low-resolution-proxy clip with moderate motion."""
+    spec = ContentSpec(name="tiny", resolution_name="480p", fps=30, motion=1.0,
+                       detail=0.4, noise=1.0, sprites=3)
+    return SyntheticVideo(spec, seed=7, proxy_height=36).video(5)
+
+
+@pytest.fixture(scope="session")
+def static_video():
+    """A 5-frame, nearly static clip (easy content)."""
+    spec = ContentSpec(name="static", resolution_name="480p", fps=30, motion=0.0,
+                       detail=0.2, noise=0.0, sprites=1)
+    return SyntheticVideo(spec, seed=3, proxy_height=36).video(5)
+
+
+@pytest.fixture(scope="session")
+def noisy_video():
+    """A 6-frame noisy, high-motion clip (hard content)."""
+    spec = ContentSpec(name="noisy", resolution_name="480p", fps=30, motion=2.5,
+                       detail=0.8, noise=3.0, sprites=6)
+    return SyntheticVideo(spec, seed=11, proxy_height=36).video(6)

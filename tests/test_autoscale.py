@@ -1,0 +1,72 @@
+"""Tests for the pool autoscaler."""
+
+import pytest
+
+from repro.cluster.autoscale import AutoscaleConfig, Autoscaler
+from repro.cluster.pool import Pool, PoolKey, Priority, UseCase
+from repro.cluster.worker import VcuWorker
+from repro.vcu.chip import Vcu
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+
+
+def make_pools(upload_workers=4, live_workers=1):
+    upload = Pool(PoolKey(Priority.NORMAL, UseCase.UPLOAD))
+    live = Pool(PoolKey(Priority.CRITICAL, UseCase.LIVE))
+    upload.workers = [
+        VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"as-u{i}")) for i in range(upload_workers)
+    ]
+    live.workers = [
+        VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"as-l{i}")) for i in range(live_workers)
+    ]
+    return {upload.key: upload, live.key: live}, upload, live
+
+
+class TestAutoscaler:
+    def test_moves_worker_toward_pressure(self):
+        pools, upload, live = make_pools()
+        live.pending_steps = 20
+        scaler = Autoscaler(pools)
+        actions = scaler.step()
+        assert actions
+        assert actions[0].to_pool == live.key
+        assert len(live.workers) == 2
+        assert len(upload.workers) == 3
+
+    def test_conserves_total_workers(self):
+        pools, upload, live = make_pools()
+        live.pending_steps = 50
+        scaler = Autoscaler(pools)
+        before = scaler.total_workers()
+        for _ in range(5):
+            scaler.step()
+        assert scaler.total_workers() == before
+
+    def test_no_action_inside_hysteresis_band(self):
+        pools, upload, live = make_pools()
+        live.pending_steps = 2  # pressure 2.0 < scale_up 4.0
+        assert Autoscaler(pools).step() == []
+
+    def test_min_workers_respected(self):
+        pools, upload, live = make_pools(upload_workers=1)
+        live.pending_steps = 100
+        scaler = Autoscaler(pools, AutoscaleConfig(min_workers=1))
+        for _ in range(5):
+            scaler.step()
+        assert len(upload.workers) == 1  # never drained below the floor
+
+    def test_busy_donor_not_drained(self):
+        pools, upload, live = make_pools()
+        upload.pending_steps = 3  # pressure 0.75 > scale_down 0.5
+        live.pending_steps = 20
+        assert Autoscaler(pools).step() == []
+
+    def test_worker_pool_key_updated(self):
+        pools, upload, live = make_pools()
+        live.pending_steps = 20
+        Autoscaler(pools).step()
+        moved = live.workers[-1]
+        assert moved.pool_key == live.key
+
+    def test_requires_pools(self):
+        with pytest.raises(ValueError):
+            Autoscaler({})

@@ -1,0 +1,121 @@
+"""Tests for the CPU/GPU baselines and the TCO/power models."""
+
+import pytest
+
+from repro.baselines import GpuSystem, SkylakeSystem
+from repro.tco import (
+    SKYLAKE_COST,
+    T4_SYSTEM_COST,
+    VCU_SYSTEM_8,
+    VCU_SYSTEM_20,
+    perf_per_tco,
+    perf_per_watt,
+)
+from repro.vcu.spec import DEFAULT_VCU_SPEC, EncodingMode
+from repro.vcu.throughput import mot_throughput, vbench_sot_system_throughput
+from repro.video.frame import resolution
+
+
+class TestSkylake:
+    def test_table1_anchors(self):
+        cpu = SkylakeSystem()
+        assert cpu.machine_throughput("h264") == pytest.approx(714.0)
+        assert cpu.machine_throughput("vp9") == pytest.approx(154.0)
+
+    def test_vp9_much_more_expensive(self):
+        cpu = SkylakeSystem()
+        assert cpu.vp9_h264_cost_ratio() > 4.0
+
+    def test_vp9_2160p_chunk_costs_about_a_cpu_hour(self):
+        # Section 4.5: a 150-frame 2160p chunk takes over a CPU-hour.
+        cpu = SkylakeSystem()
+        core_hours = cpu.encode_core_seconds("vp9", resolution("2160p"), 150) / 3600
+        assert 0.6 <= core_hours <= 1.6
+
+    def test_vp9_2160p_chunk_wall_time_matches_paper(self):
+        # ... and ~15 wall-clock minutes on multiple cores.
+        cpu = SkylakeSystem()
+        minutes = cpu.chunk_wall_seconds("vp9", resolution("2160p"), 150, cores=6) / 60
+        assert 10 <= minutes <= 25
+
+    def test_resolution_scaling_h264_mild(self):
+        cpu = SkylakeSystem()
+        at_4k = cpu.machine_throughput("h264", resolution("2160p"))
+        at_1080 = cpu.machine_throughput("h264", resolution("1080p"))
+        assert 0.5 < at_4k / at_1080 < 1.0
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            SkylakeSystem().machine_throughput("h265")
+
+    def test_cores_validated(self):
+        with pytest.raises(ValueError):
+            SkylakeSystem().chunk_wall_seconds("vp9", resolution("1080p"), 30, cores=0)
+
+
+class TestGpu:
+    def test_table1_anchor(self):
+        assert GpuSystem().machine_throughput("h264") == pytest.approx(2484.0)
+
+    def test_no_vp9_encoder(self):
+        gpu = GpuSystem()
+        assert not gpu.supports("vp9")
+        with pytest.raises(ValueError):
+            gpu.machine_throughput("vp9")
+
+    def test_no_mot(self):
+        assert not GpuSystem().mot_supported()
+
+
+class TestPerfPerTco:
+    """Table 1's normalized perf/TCO column, within 12% of the paper."""
+
+    @pytest.mark.parametrize(
+        "codec,system,vcus,paper",
+        [
+            ("h264", VCU_SYSTEM_8, 8, 4.4),
+            ("h264", VCU_SYSTEM_20, 20, 7.0),
+            ("vp9", VCU_SYSTEM_8, 8, 20.8),
+            ("vp9", VCU_SYSTEM_20, 20, 33.3),
+        ],
+    )
+    def test_vcu_systems(self, codec, system, vcus, paper):
+        base = SkylakeSystem().machine_throughput(codec)
+        ours = vbench_sot_system_throughput(DEFAULT_VCU_SPEC, codec, vcus)
+        ratio = perf_per_tco(ours, system, base)
+        assert ratio == pytest.approx(paper, rel=0.12)
+
+    def test_gpu_modest_improvement(self):
+        base = SkylakeSystem().machine_throughput("h264")
+        ratio = perf_per_tco(
+            GpuSystem().machine_throughput("h264"), T4_SYSTEM_COST, base
+        )
+        assert ratio == pytest.approx(1.5, rel=0.12)
+
+    def test_baseline_is_unity(self):
+        assert perf_per_tco(714.0, SKYLAKE_COST, 714.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_throughput(self):
+        with pytest.raises(ValueError):
+            perf_per_tco(0, SKYLAKE_COST, 714.0)
+
+
+class TestPerfPerWatt:
+    def test_h264_sot_matches_paper(self):
+        # Section 4.1: 6.7x better perf/watt than the CPU baseline for
+        # single-output H.264.
+        ours = vbench_sot_system_throughput(DEFAULT_VCU_SPEC, "h264", 20)
+        ratio = perf_per_watt(ours, VCU_SYSTEM_20, 714.0, codec="h264")
+        assert ratio == pytest.approx(6.7, rel=0.10)
+
+    def test_vp9_mot_matches_paper(self):
+        # ... and 68.9x on multi-output VP9.
+        per_vcu = mot_throughput(
+            DEFAULT_VCU_SPEC, "vp9", EncodingMode.OFFLINE_TWO_PASS, resolution("1080p")
+        ).throughput
+        ratio = perf_per_watt(per_vcu * 20, VCU_SYSTEM_20, 154.0, codec="vp9")
+        assert ratio == pytest.approx(68.9, rel=0.12)
+
+    def test_tco_structure(self):
+        assert VCU_SYSTEM_20.capex() > VCU_SYSTEM_8.capex()
+        assert VCU_SYSTEM_20.tco() > VCU_SYSTEM_8.tco() > SKYLAKE_COST.tco()

@@ -1,0 +1,112 @@
+"""Tests for bin-packing vs single-slot scheduling and pools."""
+
+import pytest
+
+from repro.cluster.pool import Pool, PoolKey, Priority, UseCase, rebalance_pools
+from repro.cluster.scheduler import BinPackingScheduler, SingleSlotScheduler
+from repro.cluster.worker import VcuWorker
+from repro.vcu.chip import Vcu
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+
+
+def make_workers(count=3):
+    return [VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"s-vcu{i}")) for i in range(count)]
+
+
+class TestBinPacking:
+    def test_figure6_example(self):
+        # Worker 0 has no decode millicores left; the request lands on
+        # Worker 1 (first fit by worker number); Worker N stays idle.
+        workers = make_workers(3)
+        assert workers[0].try_admit({"millidecode": 3000.0})  # exhaust decode
+        scheduler = BinPackingScheduler(workers)
+        request = {"millidecode": 500.0, "milliencode": 3750.0}
+        placed = scheduler.place(request)
+        assert placed is workers[1]
+        assert workers[2].is_idle()
+
+    def test_atomic_multidimensional_fit(self):
+        workers = make_workers(1)
+        scheduler = BinPackingScheduler(workers)
+        assert scheduler.place({"milliencode": 9000.0}) is workers[0]
+        # encode nearly full: a request needing encode+decode must fail
+        # even though decode alone would fit.
+        assert scheduler.place({"milliencode": 2000.0, "millidecode": 100.0}) is None
+        assert scheduler.rejections == 1
+
+    def test_exclusion_list_respected(self):
+        workers = make_workers(2)
+        scheduler = BinPackingScheduler(workers)
+        placed = scheduler.place({"milliencode": 100.0}, excluded={workers[0].name})
+        assert placed is workers[1]
+
+    def test_disabled_worker_skipped(self):
+        workers = make_workers(2)
+        workers[0].vcu.disable()
+        scheduler = BinPackingScheduler(workers)
+        assert scheduler.place({"milliencode": 1.0}) is workers[1]
+
+    def test_add_remove_worker(self):
+        workers = make_workers(1)
+        scheduler = BinPackingScheduler([])
+        assert scheduler.place({"milliencode": 1.0}) is None
+        scheduler.add_worker(workers[0])
+        assert scheduler.place({"milliencode": 1.0}) is workers[0]
+        scheduler.remove_worker(workers[0])
+        assert scheduler.workers == []
+
+
+class TestSingleSlot:
+    def test_slot_exhaustion_strands_capacity(self):
+        # The legacy model: tiny steps burn whole slots, so a worker
+        # "fills up" while its physical resources are mostly idle.
+        workers = make_workers(1)
+        scheduler = SingleSlotScheduler(workers, slots_per_worker=2)
+        tiny = {"milliencode": 100.0}
+        assert scheduler.place(tiny) is workers[0]
+        assert scheduler.place(tiny) is workers[0]
+        assert scheduler.place(tiny) is None  # slots gone, capacity stranded
+        assert workers[0].vcu.encoder_utilization() < 0.05
+
+    def test_release_slot_restores(self):
+        workers = make_workers(1)
+        scheduler = SingleSlotScheduler(workers, slots_per_worker=1)
+        request = {"milliencode": 100.0}
+        worker = scheduler.place(request)
+        assert scheduler.place(request) is None
+        worker.release(request)
+        scheduler.release_slot(worker)
+        assert scheduler.place(request) is worker
+
+    def test_validates_slots(self):
+        with pytest.raises(ValueError):
+            SingleSlotScheduler(make_workers(1), slots_per_worker=0)
+
+
+class TestPools:
+    def test_rebalance_moves_idle_workers_to_pressure(self):
+        upload = Pool(PoolKey(Priority.NORMAL, UseCase.UPLOAD))
+        live = Pool(PoolKey(Priority.CRITICAL, UseCase.LIVE))
+        upload.workers = make_workers(3)
+        live.pending_steps = 10
+        moved = rebalance_pools({upload.key: upload, live.key: live})
+        assert moved > 0
+        assert len(live.workers) == moved
+        assert all(w.pool_key == live.key for w in live.workers)
+
+    def test_no_move_when_donor_busy(self):
+        upload = Pool(PoolKey(Priority.NORMAL, UseCase.UPLOAD))
+        live = Pool(PoolKey(Priority.CRITICAL, UseCase.LIVE))
+        upload.workers = make_workers(1)
+        upload.pending_steps = 5  # donor has its own backlog
+        live.pending_steps = 10
+        moved = rebalance_pools({upload.key: upload, live.key: live})
+        assert moved == 0
+
+    def test_demand_pressure(self):
+        pool = Pool(PoolKey(Priority.BATCH, UseCase.UPLOAD))
+        assert pool.demand_pressure() == 0.0
+        pool.pending_steps = 4
+        assert pool.demand_pressure() == float("inf")
+        pool.workers = make_workers(2)
+        assert pool.demand_pressure() == 2.0

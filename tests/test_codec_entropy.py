@@ -1,0 +1,67 @@
+"""Unit and property tests for the entropy bit-cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.entropy import (
+    SKIP_BITS,
+    block_bits,
+    exp_golomb_bits,
+    mv_bits,
+    zigzag_order,
+)
+
+
+def test_zero_block_costs_skip_bits():
+    assert block_bits(np.zeros((8, 8), dtype=np.int64)) == SKIP_BITS
+
+
+def test_exp_golomb_known_values():
+    # |v|=1 -> code number 2 -> 2*floor(log2 2)+1 = 3 bits.
+    assert exp_golomb_bits(np.array([1])) == 3.0
+    assert exp_golomb_bits(np.array([-1])) == 3.0
+    # |v|=2 -> code number 4 -> 5 bits.
+    assert exp_golomb_bits(np.array([2])) == 5.0
+    assert exp_golomb_bits(np.array([0])) == 0.0
+
+
+def test_zigzag_order_visits_low_frequencies_first():
+    order = zigzag_order(4)
+    assert order[0] == 0  # DC first
+    assert sorted(order.tolist()) == list(range(16))
+    # The last scanned coefficient is the highest frequency.
+    assert order[-1] == 15
+
+
+def test_dc_only_block_cheaper_than_high_frequency_block():
+    dc_only = np.zeros((8, 8), dtype=np.int64)
+    dc_only[0, 0] = 5
+    hf_only = np.zeros((8, 8), dtype=np.int64)
+    hf_only[7, 7] = 5
+    assert block_bits(dc_only) < block_bits(hf_only)
+
+
+def test_entropy_efficiency_scales_cost():
+    levels = np.ones((4, 4), dtype=np.int64)
+    assert block_bits(levels, 0.5) == pytest.approx(block_bits(levels, 1.0) * 0.5)
+
+
+def test_bad_efficiency_rejected():
+    with pytest.raises(ValueError):
+        block_bits(np.ones((2, 2), dtype=np.int64), 0.0)
+
+
+def test_mv_bits_grow_with_magnitude():
+    assert mv_bits(0, 0) < mv_bits(3, 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.int64, (8, 8), elements=st.integers(-64, 64)))
+def test_block_bits_positive_and_monotone_in_magnitude(levels):
+    bits = block_bits(levels)
+    assert bits > 0
+    # Doubling magnitudes never reduces cost.
+    assert block_bits(levels * 2) >= bits

@@ -1,0 +1,93 @@
+"""Unit and property tests for the transform/quantization stage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.transform import (
+    MAX_QP,
+    dct_matrix,
+    dequantize,
+    forward_dct,
+    inverse_dct,
+    qp_to_lambda,
+    qp_to_step,
+    quantize,
+    transform_rd,
+)
+
+
+def test_dct_matrix_is_orthonormal():
+    for size in (4, 8, 16):
+        basis = dct_matrix(size)
+        np.testing.assert_allclose(basis @ basis.T, np.eye(size), atol=1e-10)
+
+
+def test_dct_roundtrip_lossless():
+    rng = np.random.default_rng(0)
+    block = rng.uniform(0, 255, (8, 8))
+    np.testing.assert_allclose(inverse_dct(forward_dct(block)), block, atol=1e-9)
+
+
+def test_dct_dc_of_flat_block():
+    block = np.full((8, 8), 100.0)
+    coefficients = forward_dct(block)
+    assert coefficients[0, 0] == pytest.approx(800.0)  # 100 * size
+    assert np.abs(coefficients[1:, :]).max() < 1e-9
+    assert np.abs(coefficients[0, 1:]).max() < 1e-9
+
+
+def test_dct_rejects_non_square():
+    with pytest.raises(ValueError):
+        forward_dct(np.zeros((4, 8)))
+
+
+def test_qp_step_doubles_every_6():
+    assert qp_to_step(30) / qp_to_step(24) == pytest.approx(2.0)
+
+
+def test_qp_bounds():
+    with pytest.raises(ValueError):
+        qp_to_step(-1)
+    with pytest.raises(ValueError):
+        qp_to_step(MAX_QP + 1)
+
+
+def test_lambda_grows_with_qp():
+    assert qp_to_lambda(40) > qp_to_lambda(20)
+
+
+def test_quantize_roundtrip_error_bounded():
+    rng = np.random.default_rng(1)
+    block = rng.uniform(-50, 50, (8, 8))
+    qp = 28
+    step = qp_to_step(qp)
+    recon = dequantize(quantize(block, qp), qp)
+    assert np.abs(recon - block).max() <= step / 2 + 1e-9
+
+
+def test_higher_qp_more_distortion_fewer_levels():
+    rng = np.random.default_rng(2)
+    residual = rng.normal(0, 20, (8, 8))
+    _, _, d_low = transform_rd(residual, qp=10)
+    levels_hi, _, d_high = transform_rd(residual, qp=45)
+    assert d_high >= d_low
+    levels_lo, _, _ = transform_rd(residual, qp=10)
+    assert np.count_nonzero(levels_hi) <= np.count_nonzero(levels_lo)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(np.float64, (8, 8), elements=st.floats(-128, 128, width=16)),
+    st.integers(0, 51),
+)
+def test_transform_rd_distortion_bound_property(residual, qp):
+    """Reconstruction error is bounded by half a quantization step per
+    coefficient (Parseval: SSE equals coefficient-domain SSE)."""
+    _, recon, distortion = transform_rd(residual, qp)
+    step = qp_to_step(qp)
+    bound = 64 * (step / 2) ** 2 + 1e-6
+    assert distortion <= bound
+    assert distortion == pytest.approx(float(np.sum((residual - recon) ** 2)), rel=1e-9, abs=1e-9)

@@ -1,0 +1,123 @@
+"""Tests for the consistent-hash ring and chunk affinity policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures.consistent_hash import (
+    ChunkAffinityPolicy,
+    ConsistentHashRing,
+    videos_touched_by,
+)
+
+NODES = [f"vcu{i}" for i in range(8)]
+
+
+class TestRing:
+    def test_lookup_is_deterministic(self):
+        ring = ConsistentHashRing(NODES)
+        assert ring.node_for("video-1") == ring.node_for("video-1")
+
+    def test_all_nodes_reachable(self):
+        ring = ConsistentHashRing(NODES)
+        owners = {ring.node_for(f"key-{i}") for i in range(500)}
+        assert owners == set(NODES)
+
+    def test_distribution_roughly_uniform(self):
+        ring = ConsistentHashRing(NODES, replicas=128)
+        counts = {node: 0 for node in NODES}
+        for i in range(4000):
+            counts[ring.node_for(f"key-{i}")] += 1
+        expected = 4000 / len(NODES)
+        for count in counts.values():
+            assert 0.5 * expected <= count <= 1.7 * expected
+
+    def test_successors_distinct_and_ordered(self):
+        ring = ConsistentHashRing(NODES)
+        owners = ring.successors("video-9", count=3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+        assert owners[0] == ring.node_for("video-9")
+
+    def test_successor_count_capped_at_ring_size(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert len(ring.successors("k", count=10)) == 2
+
+    def test_minimal_disruption_on_node_removal(self):
+        # The consistent-hashing property: removing one node only remaps
+        # the keys it owned.
+        ring = ConsistentHashRing(NODES)
+        keys = [f"key-{i}" for i in range(600)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove_node("vcu3")
+        after = {k: ring.node_for(k) for k in keys}
+        for key in keys:
+            if before[key] != "vcu3":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "vcu3"
+
+    def test_add_duplicate_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            ConsistentHashRing(["a"]).remove_node("b")
+
+    def test_empty_ring_lookup_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing().node_for("k")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(min_size=1, max_size=20))
+    def test_any_key_resolves(self, key):
+        ring = ConsistentHashRing(NODES)
+        assert ring.node_for(key) in NODES
+
+
+class TestAffinityPolicy:
+    def test_affinity_set_is_stable(self):
+        policy = ChunkAffinityPolicy(ConsistentHashRing(NODES), affinity_size=3)
+        assert policy.affinity_set("v1") == policy.affinity_set("v1")
+
+    def test_chunks_confined_to_affinity_set(self):
+        policy = ChunkAffinityPolicy(ConsistentHashRing(NODES), affinity_size=3)
+        owners = {policy.preferred_vcu("v1", c) for c in range(50)}
+        assert owners == set(policy.affinity_set("v1"))
+
+    def test_round_robin_within_set(self):
+        policy = ChunkAffinityPolicy(ConsistentHashRing(NODES), affinity_size=3)
+        owners = [policy.preferred_vcu("v1", c) for c in range(6)]
+        assert owners[:3] == owners[3:]
+        assert len(set(owners[:3])) == 3
+
+    def test_placement_order_respects_exclusions(self):
+        policy = ChunkAffinityPolicy(ConsistentHashRing(NODES), affinity_size=3)
+        excluded = {policy.preferred_vcu("v1", 0)}
+        order = policy.placement_order("v1", 0, excluded=excluded)
+        assert not excluded & set(order)
+        assert len(order) == len(NODES) - 1
+
+    def test_blast_radius_shrinks_with_affinity(self):
+        # Spread placement touches nearly every video with any one VCU;
+        # affinity placement confines the damage.
+        videos = [f"v{i}" for i in range(40)]
+        chunks = 12
+        # Spread: chunk c of every video round-robins the whole fleet.
+        spread = {
+            v: [NODES[(i + c) % len(NODES)] for c in range(chunks)]
+            for i, v in enumerate(videos)
+        }
+        policy = ChunkAffinityPolicy(ConsistentHashRing(NODES), affinity_size=2)
+        confined = {
+            v: [policy.preferred_vcu(v, c) for c in range(chunks)] for v in videos
+        }
+        bad = NODES[0]
+        assert videos_touched_by(spread, bad) == len(videos)
+        assert videos_touched_by(confined, bad) < 0.6 * len(videos)
+
+    def test_bad_affinity_size(self):
+        with pytest.raises(ValueError):
+            ChunkAffinityPolicy(ConsistentHashRing(NODES), affinity_size=0)

@@ -1,0 +1,106 @@
+"""End-to-end integration: upload -> cluster -> assembly -> correlation.
+
+The full life of a video, crossing every layer: a workload generator
+produces uploads, the cluster transcodes their step graphs on simulated
+VCUs, assembly reconstructs the output variants and runs the playability
+integrity checks, and -- when a corrupt device slips bad chunks through --
+fault correlation identifies the culprit from the recorded placements
+(Section 4.4's workflow end to end).
+"""
+
+import pytest
+
+from repro.cluster import CpuWorker, TranscodeCluster, VcuWorker
+from repro.sim import Simulator
+from repro.transcode.assembly import assemble, fault_correlation
+from repro.vcu.chip import Vcu
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+from repro.workloads.upload import UploadGenerator
+
+
+def run_pipeline(corrupt_one=False, integrity_rate=1.0, screening=True,
+                 videos=5, vcus=3, seed=21):
+    sim = Simulator()
+    devices = [
+        Vcu(DEFAULT_VCU_SPEC, vcu_id=f"e2e-{corrupt_one}-{screening}-{seed}-{i}")
+        for i in range(vcus)
+    ]
+    if corrupt_one:
+        devices[0].mark_corrupt()
+    workers = [VcuWorker(v, golden_screening=screening) for v in devices]
+    cluster = TranscodeCluster(
+        sim, workers, [CpuWorker(cores=24)],
+        integrity_check_rate=integrity_rate, seed=seed,
+    )
+    generator = UploadGenerator(
+        arrivals_per_second=0.5, seed=seed, mean_duration_seconds=20.0
+    )
+    uploads = [generator.sample_video() for _ in range(videos)]
+    graphs = []
+    for video in uploads:
+        graph = generator.to_graph(video)
+        graphs.append((video, graph))
+        cluster.submit(graph)
+    sim.run()
+    return cluster, uploads, graphs
+
+
+class TestHappyPath:
+    def test_every_video_assembles_playable(self):
+        cluster, uploads, graphs = run_pipeline()
+        assert cluster.stats.completed_graphs == len(uploads)
+        for video, graph in graphs:
+            report = assemble(graph, expected_frames=video.total_frames)
+            assert report.length_check_passed, graph.video_id
+            assert report.playable, graph.video_id
+
+    def test_variant_set_matches_popularity_policy(self):
+        _, uploads, graphs = run_pipeline()
+        from repro.transcode.ladder import LadderPolicy
+
+        policy = LadderPolicy()
+        for video, graph in graphs:
+            report = assemble(graph, expected_frames=video.total_frames)
+            expected = {
+                (codec, rung.name)
+                for codec, rung in policy.variants(video.source, video.bucket)
+            }
+            produced = {(k.codec, k.resolution) for k in report.variants}
+            assert produced == expected
+
+    def test_all_frames_accounted_per_variant(self):
+        _, uploads, graphs = run_pipeline()
+        for video, graph in graphs:
+            report = assemble(graph, expected_frames=video.total_frames)
+            for variant in report.variants.values():
+                assert variant.total_frames == video.total_frames
+
+
+class TestCorruptionPath:
+    def test_escaped_corruption_traced_to_culprit(self):
+        # No screening, no integrity checks: bad chunks escape; assembly
+        # flags the unplayable variants and correlation names the VCU.
+        cluster, uploads, graphs = run_pipeline(
+            corrupt_one=True, integrity_rate=0.0, screening=False
+        )
+        assert cluster.stats.corrupt_escaped > 0
+        bad_vcu = cluster.vcu_workers[0].vcu.vcu_id
+        unplayable = [
+            graph.video_id
+            for video, graph in graphs
+            if not assemble(graph, expected_frames=video.total_frames).playable
+        ]
+        assert unplayable
+        suspects = fault_correlation([g for _, g in graphs])
+        assert set(suspects) == {bad_vcu}
+        assert set(suspects[bad_vcu]) == set(unplayable)
+
+    def test_mitigations_keep_everything_playable(self):
+        cluster, uploads, graphs = run_pipeline(
+            corrupt_one=True, integrity_rate=1.0, screening=True
+        )
+        assert cluster.stats.corrupt_escaped == 0
+        for video, graph in graphs:
+            report = assemble(graph, expected_frames=video.total_frames)
+            assert report.playable
+        assert fault_correlation([g for _, g in graphs]) == {}

@@ -1,0 +1,171 @@
+"""Failure-management tests: injection, screening, black-holing, repair."""
+
+import pytest
+
+from repro.cluster import CpuWorker, TranscodeCluster, VcuWorker
+from repro.failures import FailureManager, FaultInjector, RepairQueue
+from repro.failures.management import blast_radius
+from repro.sim import Simulator
+from repro.transcode import PopularityBucket, build_transcode_graph
+from repro.vcu.chip import Vcu
+from repro.vcu.host import VcuHost
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+from repro.vcu.telemetry import FaultKind
+from repro.video.frame import resolution
+
+
+def graph(video_id="v1", frames=300):
+    return build_transcode_graph(
+        video_id=video_id, source=resolution("720p"), total_frames=frames,
+        fps=30.0, bucket=PopularityBucket.WARM,
+    )
+
+
+class TestGoldenScreening:
+    def test_corrupt_vcu_refused_at_worker_start(self):
+        vcu = Vcu(DEFAULT_VCU_SPEC)
+        vcu.mark_corrupt()
+        worker = VcuWorker(vcu, golden_screening=True)
+        assert worker.refused
+        assert not worker.available()
+
+    def test_screening_can_be_disabled(self):
+        vcu = Vcu(DEFAULT_VCU_SPEC)
+        vcu.mark_corrupt()
+        worker = VcuWorker(vcu, golden_screening=False)
+        assert worker.available()
+
+
+class TestRetriesAndCorruption:
+    def _run(self, integrity_rate, screening, seed=3):
+        sim = Simulator()
+        vcus = [Vcu(DEFAULT_VCU_SPEC, vcu_id=f"f{seed}-vcu{i}") for i in range(3)]
+        vcus[0].mark_corrupt()  # fails *after* screening-time in test below
+        workers = [VcuWorker(v, golden_screening=screening) for v in vcus]
+        cluster = TranscodeCluster(
+            sim, workers, [CpuWorker(cores=16)],
+            integrity_check_rate=integrity_rate, seed=seed,
+        )
+        g = graph()
+        cluster.submit(g)
+        sim.run()
+        return cluster, g
+
+    def test_integrity_checks_catch_and_retry(self):
+        cluster, g = self._run(integrity_rate=1.0, screening=False)
+        assert g.completed_at is not None
+        assert cluster.stats.corrupt_escaped == 0
+        assert cluster.stats.retries > 0
+        # Retried steps must have landed on a different VCU.
+        for step in g.transcode_steps():
+            assert not step.corrupt_output
+
+    def test_quarantine_after_detection(self):
+        cluster, _ = self._run(integrity_rate=1.0, screening=False)
+        corrupt_workers = [w for w in cluster.vcu_workers if w.vcu.corrupt]
+        assert all(w.refused for w in corrupt_workers)
+
+    def test_screening_prevents_any_corruption(self):
+        cluster, g = self._run(integrity_rate=0.0, screening=True)
+        assert cluster.stats.corrupt_escaped == 0
+        assert g.completed_at is not None
+
+    def test_escapes_without_checks_or_screening(self):
+        # With no integrity checks and no screening, some bad chunks
+        # escape -- the residual risk Section 4.4 acknowledges.
+        cluster, g = self._run(integrity_rate=0.0, screening=False)
+        assert cluster.stats.corrupt_escaped > 0
+
+
+class TestBlackHoling:
+    def test_fast_corrupt_vcu_attracts_work_without_mitigation(self):
+        # A failing-but-fast VCU completes steps quicker, so first-fit
+        # keeps it loaded; record its share of processed chunks.
+        sim = Simulator()
+        vcus = [Vcu(DEFAULT_VCU_SPEC, vcu_id=f"bh-vcu{i}") for i in range(2)]
+        vcus[0].mark_corrupt()
+        workers = [VcuWorker(v, golden_screening=False) for v in vcus]
+        cluster = TranscodeCluster(
+            sim, workers, [CpuWorker(cores=16)], integrity_check_rate=0.0, seed=1
+        )
+        graphs = [graph(f"v{i}") for i in range(4)]
+        for g in graphs:
+            cluster.submit(g)
+        sim.run()
+        processed = [s.processed_by for g in graphs for s in g.transcode_steps()]
+        share = blast_radius(processed, "bh-vcu0") / len(processed)
+        assert share > 0.5  # the bad VCU black-holed most traffic
+
+    def test_blast_radius_counts(self):
+        assert blast_radius(["a", "b", "a", None], "a") == 2
+
+
+class TestFaultInjector:
+    def test_corrupt_at_fires_on_schedule(self):
+        sim = Simulator()
+        vcu = Vcu(DEFAULT_VCU_SPEC)
+        injector = FaultInjector(sim, [vcu])
+        injector.corrupt_at(5.0, vcu)
+        sim.run(until=4.0)
+        assert not vcu.corrupt
+        sim.run()
+        assert vcu.corrupt
+
+    def test_hard_faults_recorded_in_telemetry(self):
+        sim = Simulator()
+        vcu = Vcu(DEFAULT_VCU_SPEC)
+        injector = FaultInjector(sim, [vcu])
+        injector.hard_fault_at(1.0, vcu, FaultKind.ECC_UNCORRECTABLE, count=3)
+        sim.run()
+        assert vcu.telemetry.should_disable()
+
+    def test_random_corruptions_deterministic_per_seed(self):
+        def events(seed):
+            sim = Simulator()
+            vcus = [Vcu(DEFAULT_VCU_SPEC, vcu_id=f"r{seed}-{i}") for i in range(10)]
+            injector = FaultInjector(sim, vcus, seed=seed)
+            return [(e.at_time) for e in injector.random_corruptions(0.5, until=3600)]
+
+        assert events(7) == events(7)
+
+    def test_zero_rate_injects_nothing(self):
+        sim = Simulator()
+        injector = FaultInjector(sim, [Vcu(DEFAULT_VCU_SPEC)])
+        assert injector.random_corruptions(0.0, until=100) == []
+
+
+class TestFleetManagement:
+    def test_sweep_disables_and_queues_repair(self):
+        hosts = [VcuHost() for _ in range(2)]
+        manager = FailureManager(hosts)
+        # Cross the host fault budget on host 0.
+        for vcu in hosts[0].vcus[:6]:
+            vcu.telemetry.record(FaultKind.ECC_UNCORRECTABLE, count=5)
+        disabled = manager.sweep()
+        assert len(disabled) == 6
+        assert hosts[0].unusable
+        assert manager.available_vcu_count() == 20  # only host 1 healthy
+
+    def test_repair_cap_limits_capacity_loss(self):
+        hosts = [VcuHost() for _ in range(4)]
+        queue = RepairQueue(cap=2)
+        accepted = [queue.enqueue(h) for h in hosts]
+        assert accepted == [True, True, False, False]
+
+    def test_repair_restores_host(self):
+        host = VcuHost()
+        host.unusable = True
+        host.vcus[0].disable()
+        queue = RepairQueue(cap=1)
+        queue.enqueue(host)
+        queue.start_repairs()
+        queue.finish_repair(host)
+        assert not host.unusable
+        assert len(host.healthy_vcus()) == 20
+
+    def test_capacity_fraction(self):
+        hosts = [VcuHost()]
+        manager = FailureManager(hosts)
+        assert manager.fleet_capacity_fraction() == 1.0
+        hosts[0].vcus[0].disable()
+        assert manager.fleet_capacity_fraction() == pytest.approx(0.95)

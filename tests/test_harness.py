@@ -1,0 +1,48 @@
+"""Tests for the shared RD-sweep harness."""
+
+import math
+
+import pytest
+
+from repro.codec.profiles import LIBVPX, LIBX264
+from repro.harness.rd import DEFAULT_QPS, rd_curve, suite_bd_rates, suite_rd_curves
+from repro.video.vbench import vbench_video
+
+TITLE = vbench_video("desktop")
+FAST = dict(frame_count=4, proxy_height=36)
+
+
+class TestRdCurve:
+    def test_one_point_per_qp(self):
+        points = rd_curve(LIBX264, TITLE, qps=(24, 32, 40), **FAST)
+        assert len(points) == 3
+
+    def test_deterministic_per_seed(self):
+        a = rd_curve(LIBX264, TITLE, qps=(28, 36), seed=5, **FAST)
+        b = rd_curve(LIBX264, TITLE, qps=(28, 36), seed=5, **FAST)
+        assert [(p.bitrate, p.psnr) for p in a] == [(p.bitrate, p.psnr) for p in b]
+
+    def test_default_qps_cover_range(self):
+        assert len(DEFAULT_QPS) >= 4
+        assert min(DEFAULT_QPS) < 24 and max(DEFAULT_QPS) > 40
+
+
+class TestSuite:
+    def test_structure(self):
+        curves = suite_rd_curves(
+            profiles=(LIBX264, LIBVPX), titles=(TITLE,), qps=(24, 30, 36, 42), **FAST
+        )
+        assert set(curves) == {"desktop"}
+        assert set(curves["desktop"]) == {"libx264", "libvpx"}
+
+    def test_bd_rate_summary(self):
+        curves = suite_rd_curves(
+            profiles=(LIBX264, LIBVPX), titles=(TITLE,), qps=(22, 28, 34, 40, 46),
+            **FAST,
+        )
+        summary = suite_bd_rates(curves)
+        # Only the libvpx-vs-libx264 comparison is computable here...
+        assert summary.libvpx_vs_libx264 < -15.0
+        # ...and the VCU comparisons come back NaN, not bogus numbers.
+        assert math.isnan(summary.vcu_vp9_vs_libvpx)
+        assert "desktop" in summary.per_title

@@ -1,0 +1,96 @@
+"""Unit tests for BD-rate, throughput units, and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.quality import RDPoint, bd_psnr, bd_rate, rd_curve_is_monotonic
+from repro.metrics.reporting import format_table
+from repro.metrics.throughput import megapixels, mpix_per_second, pixels_per_bit
+from repro.video.frame import resolution
+
+
+def _curve(scale: float, offset_db: float = 0.0):
+    """A synthetic log-linear RD curve: psnr = 10*log2(rate) + offset."""
+    rates = [0.5e6, 1e6, 2e6, 4e6, 8e6]
+    return [RDPoint(bitrate=r * scale, psnr=10 * np.log2(r / 1e6) + 35 + offset_db)
+            for r in rates]
+
+
+class TestBDRate:
+    def test_identical_curves_are_zero(self):
+        curve = _curve(1.0)
+        assert bd_rate(curve, curve) == pytest.approx(0.0, abs=1e-6)
+
+    def test_known_rate_shift(self):
+        # Test curve needs exactly 30% fewer bits at every quality.
+        reference = _curve(1.0)
+        test = _curve(0.7)
+        assert bd_rate(reference, test) == pytest.approx(-30.0, abs=0.5)
+
+    def test_rate_increase_positive(self):
+        assert bd_rate(_curve(1.0), _curve(1.18)) == pytest.approx(18.0, abs=0.5)
+
+    def test_antisymmetry_approximate(self):
+        a, b = _curve(1.0), _curve(0.8)
+        forward = bd_rate(a, b)
+        backward = bd_rate(b, a)
+        assert (1 + forward / 100) * (1 + backward / 100) == pytest.approx(1.0, abs=0.01)
+
+    def test_bd_psnr_sign(self):
+        # Better curve (same rate, +2 dB) has positive BD-PSNR.
+        assert bd_psnr(_curve(1.0), _curve(1.0, offset_db=2.0)) == pytest.approx(2.0, abs=0.05)
+
+    def test_requires_overlap(self):
+        low = [RDPoint(r, 20 + i) for i, r in enumerate([1e5, 2e5, 3e5, 4e5])]
+        high = [RDPoint(r, 50 + i) for i, r in enumerate([1e6, 2e6, 3e6, 4e6])]
+        with pytest.raises(ValueError):
+            bd_rate(low, high)
+
+    def test_requires_enough_points(self):
+        curve = _curve(1.0)[:3]
+        with pytest.raises(ValueError):
+            bd_rate(curve, curve)
+
+    def test_monotonicity_helper(self):
+        assert rd_curve_is_monotonic(_curve(1.0))
+        bad = _curve(1.0) + [RDPoint(bitrate=16e6, psnr=10.0)]
+        assert not rd_curve_is_monotonic(bad)
+
+    def test_nonpositive_bitrate_rejected(self):
+        with pytest.raises(ValueError):
+            RDPoint(bitrate=0, psnr=30)
+
+
+class TestThroughput:
+    def test_megapixels_counts_all_outputs(self):
+        ladder = [resolution("480p"), resolution("360p")]
+        expected = (854 * 480 + 640 * 360) / 1e6
+        assert megapixels(ladder) == pytest.approx(expected)
+
+    def test_mpix_per_second(self):
+        assert mpix_per_second(2e6, 2.0) == pytest.approx(1.0)
+
+    def test_mpix_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            mpix_per_second(1e6, 0)
+
+    def test_pixels_per_bit_paper_average(self):
+        # YouTube-recommended 1080p30 at ~10 Mbps lands near the paper's
+        # 6.1 pixels-per-bit fleet average.
+        value = pixels_per_bit(resolution("1080p"), 30, 10e6)
+        assert 5 < value < 8
+
+
+class TestReporting:
+    def test_format_basic(self):
+        table = format_table(["System", "Mpix/s"], [["Skylake", 714.0], ["20xVCU", 14932.0]])
+        assert "Skylake" in table
+        assert "14,932" in table
+
+    def test_title_included(self):
+        table = format_table(["a"], [[1]], title="Table 1")
+        assert table.splitlines()[0] == "Table 1"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

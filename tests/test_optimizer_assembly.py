@@ -1,0 +1,131 @@
+"""Tests for the rate-quality optimizer and chunk assembly."""
+
+import pytest
+
+from repro.codec.optimizer import (
+    OperatingPoint,
+    convex_hull_points,
+    pick_operating_point,
+    rate_quality_curve,
+)
+from repro.codec.profiles import LIBX264, NVENC_H264, profile
+from repro.harness.rd import rd_curve
+from repro.metrics.quality import RDPoint, bd_rate
+from repro.transcode import PopularityBucket, build_transcode_graph
+from repro.transcode.assembly import assemble, fault_correlation
+from repro.video.frame import resolution
+from repro.video.vbench import vbench_video
+
+
+def op(bitrate, psnr, qp=30):
+    return OperatingPoint(qp=qp, rd=RDPoint(bitrate=bitrate, psnr=psnr))
+
+
+class TestConvexHull:
+    def test_dominated_points_dropped(self):
+        points = [op(1e6, 35), op(2e6, 34), op(3e6, 40)]  # 2 Mbps dominated
+        hull = convex_hull_points(points)
+        assert [p.bitrate for p in hull] == [1e6, 3e6]
+
+    def test_below_hull_points_dropped(self):
+        # The middle point lies below the chord between its neighbours.
+        points = [op(1e6, 30), op(2e6, 30.5), op(4e6, 40)]
+        hull = convex_hull_points(points)
+        assert [p.bitrate for p in hull] == [1e6, 4e6]
+
+    def test_concave_set_kept_whole(self):
+        points = [op(1e6, 30), op(2e6, 36), op(4e6, 39)]  # decreasing slopes
+        hull = convex_hull_points(points)
+        assert len(hull) == 3
+
+    def test_hull_of_real_curve(self, tiny_video):
+        curve = rate_quality_curve(tiny_video, LIBX264, qps=(20, 28, 36, 44))
+        hull = convex_hull_points(curve)
+        assert 2 <= len(hull) <= 4
+        bitrates = [p.bitrate for p in hull]
+        assert bitrates == sorted(bitrates)
+
+
+class TestPickOperatingPoint:
+    POINTS = [op(1e6, 30, qp=44), op(2e6, 35, qp=36), op(4e6, 39, qp=28)]
+
+    def test_quality_floor_picks_cheapest(self):
+        chosen = pick_operating_point(self.POINTS, min_psnr=34)
+        assert chosen.bitrate == 2e6
+
+    def test_bitrate_cap_picks_best_quality(self):
+        chosen = pick_operating_point(self.POINTS, max_bitrate=2.5e6)
+        assert chosen.psnr == 35
+
+    def test_both_constraints(self):
+        chosen = pick_operating_point(self.POINTS, min_psnr=31, max_bitrate=2.5e6)
+        assert chosen.bitrate == 2e6
+
+    def test_infeasible_returns_none(self):
+        assert pick_operating_point(self.POINTS, min_psnr=50) is None
+
+    def test_requires_a_constraint(self):
+        with pytest.raises(ValueError):
+            pick_operating_point(self.POINTS)
+
+
+class TestNvencProfile:
+    def test_lookup(self):
+        assert profile("nvenc-h264") is NVENC_H264
+
+    def test_quality_clearly_below_libx264(self):
+        # Section 5: commodity GPU encoder quality is only comparable to
+        # libx264's fast presets, i.e. clearly worse than medium.
+        title = vbench_video("house")
+        ref = rd_curve(LIBX264, title, frame_count=5, proxy_height=54)
+        test = rd_curve(NVENC_H264, title, frame_count=5, proxy_height=54)
+        gap = bd_rate(ref, test)
+        assert 8.0 <= gap <= 45.0
+
+
+def _completed_graph(use_mot=True, frames=300):
+    graph = build_transcode_graph(
+        "v1", resolution("720p"), total_frames=frames, fps=30.0,
+        bucket=PopularityBucket.WARM, use_mot=use_mot,
+    )
+    for index, step in enumerate(graph.transcode_steps()):
+        step.processed_by = f"vcu-{index % 3}"
+    return graph
+
+
+class TestAssembly:
+    def test_complete_mot_graph_assembles(self):
+        graph = _completed_graph()
+        report = assemble(graph, expected_frames=300)
+        assert report.length_check_passed
+        assert report.playable
+        # 2 codecs x 5 rungs of the 720p ladder.
+        assert len(report.variants) == 10
+
+    def test_sot_graph_assembles_identically(self):
+        mot = assemble(_completed_graph(use_mot=True), 300)
+        sot = assemble(_completed_graph(use_mot=False), 300)
+        assert set(mot.variants) == set(sot.variants)
+        for key in mot.variants:
+            assert mot.variants[key].total_frames == sot.variants[key].total_frames
+
+    def test_length_check_catches_frame_mismatch(self):
+        graph = _completed_graph(frames=290)  # 2 chunks: 150 + 140
+        report = assemble(graph, expected_frames=300)
+        assert not report.length_check_passed
+
+    def test_corrupt_chunk_breaks_playability(self):
+        graph = _completed_graph()
+        victim = graph.transcode_steps()[0]
+        victim.corrupt_output = True
+        report = assemble(graph, expected_frames=300)
+        assert report.length_check_passed  # length alone can't see this
+        assert not report.playable
+        assert report.corrupt_variant_count() >= 1
+
+    def test_fault_correlation_finds_culprit(self):
+        graph = _completed_graph()
+        victim = graph.transcode_steps()[0]
+        victim.corrupt_output = True
+        suspects = fault_correlation([graph])
+        assert suspects == {victim.processed_by: ["v1"]}

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These complement the unit suites: instead of fixed cases they explore the
+input space of the codec, the metrics, the resources, and the hash ring,
+checking the invariants the rest of the system builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.codec.decoder import decode_chunk
+from repro.codec.encoder import encode_video
+from repro.codec.profiles import LIBVPX, LIBX264
+from repro.failures.consistent_hash import ConsistentHashRing
+from repro.metrics.quality import RDPoint, bd_rate
+from repro.sim.resources import MultiResource
+from repro.video.content import ContentSpec, SyntheticVideo
+from repro.video.frame import output_ladder, resolution
+
+# --------------------------------------------------------------------- #
+# Codec invariants
+
+
+content_specs = st.builds(
+    ContentSpec,
+    name=st.just("prop"),
+    resolution_name=st.sampled_from(["360p", "480p", "720p"]),
+    fps=st.sampled_from([24.0, 30.0]),
+    motion=st.floats(0.0, 3.0),
+    detail=st.floats(0.0, 1.0),
+    noise=st.floats(0.0, 4.0),
+    sprites=st.integers(1, 5),
+)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=content_specs, seed=st.integers(0, 1000), qp=st.integers(12, 48))
+def test_codec_roundtrip_for_arbitrary_content(spec, seed, qp):
+    """Whatever the content, encode -> decode is bit-exact and bits > 0."""
+    video = SyntheticVideo(spec, seed=seed, proxy_height=27).video(3)
+    chunk = encode_video(video, LIBX264, qp=float(qp))
+    assert chunk.total_bits > 0
+    planes = decode_chunk(chunk, LIBX264)
+    for plane, frame in zip(planes, chunk.frames):
+        np.testing.assert_array_equal(plane, frame.recon)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=content_specs, seed=st.integers(0, 1000))
+def test_codec_quality_monotone_in_qp(spec, seed):
+    """Across arbitrary content, lower QP never yields lower PSNR."""
+    video = SyntheticVideo(spec, seed=seed, proxy_height=27).video(3)
+    low = encode_video(video, LIBVPX, qp=16)
+    high = encode_video(video, LIBVPX, qp=46)
+    assert low.psnr >= high.psnr - 1e-6
+    assert low.total_bits >= high.total_bits * 0.9
+
+
+# --------------------------------------------------------------------- #
+# BD-rate invariances
+
+
+def _curve(rates, psnr_offset=0.0, rate_scale=1.0):
+    return [
+        RDPoint(bitrate=r * rate_scale, psnr=10 * np.log2(r / 1e6) + 35 + psnr_offset)
+        for r in rates
+    ]
+
+
+RATES = (0.5e6, 1e6, 2e6, 4e6, 8e6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scale=st.floats(0.3, 3.0))
+def test_bd_rate_recovers_pure_rate_scaling(scale):
+    reference = _curve(RATES)
+    test = _curve(RATES, rate_scale=scale)
+    assert bd_rate(reference, test) == pytest.approx((scale - 1) * 100, abs=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scale=st.floats(0.4, 2.5), units=st.floats(0.01, 100.0))
+def test_bd_rate_invariant_to_bitrate_units(scale, units):
+    """Expressing both curves in different units changes nothing."""
+    reference, test = _curve(RATES), _curve(RATES, rate_scale=scale)
+    scaled_ref = [RDPoint(p.bitrate * units, p.psnr) for p in reference]
+    scaled_test = [RDPoint(p.bitrate * units, p.psnr) for p in test]
+    assert bd_rate(scaled_ref, scaled_test) == pytest.approx(
+        bd_rate(reference, test), abs=0.5
+    )
+
+
+# --------------------------------------------------------------------- #
+# Output ladders
+
+
+@settings(max_examples=30, deadline=None)
+@given(name=st.sampled_from(["240p", "480p", "1080p", "2160p", "4320p"]))
+def test_output_ladder_invariants(name):
+    source = resolution(name)
+    ladder = output_ladder(source)
+    assert ladder[0] == source  # top rung is the source itself
+    pixels = [r.pixels for r in ladder]
+    assert pixels == sorted(pixels, reverse=True)
+    # Footnote 2's geometric-series property: sub-rungs sum below the top.
+    assert sum(pixels[1:]) < pixels[0]
+
+
+# --------------------------------------------------------------------- #
+# Consistent hash ring: churn never breaks the ring's invariants
+
+
+class RingMachine(RuleBasedStateMachine):
+    """Stateful test: add/remove nodes, always resolve keys correctly."""
+
+    def __init__(self):
+        super().__init__()
+        self.ring = ConsistentHashRing(["seed-node"])
+        self.members = {"seed-node"}
+        self.counter = 0
+
+    @rule()
+    def add_node(self):
+        self.counter += 1
+        node = f"node-{self.counter}"
+        self.ring.add_node(node)
+        self.members.add(node)
+
+    @precondition(lambda self: len(self.members) > 1)
+    @rule(data=st.data())
+    def remove_node(self, data):
+        node = data.draw(st.sampled_from(sorted(self.members)))
+        self.ring.remove_node(node)
+        self.members.discard(node)
+
+    @rule(key=st.text(min_size=1, max_size=12))
+    def lookup(self, key):
+        owner = self.ring.node_for(key)
+        assert owner in self.members
+        assert self.ring.node_for(key) == owner  # deterministic
+
+    @invariant()
+    def ring_tracks_membership(self):
+        assert self.ring.nodes == self.members
+
+
+TestRingStateful = RingMachine.TestCase
+TestRingStateful.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+
+
+# --------------------------------------------------------------------- #
+# MultiResource: conservation under arbitrary acquire/release sequences
+
+
+class ResourceMachine(RuleBasedStateMachine):
+    """Stateful test: availability never exceeds capacity or goes negative."""
+
+    def __init__(self):
+        super().__init__()
+        self.resource = MultiResource({"enc": 100.0, "dec": 30.0})
+        self.held = []
+
+    @rule(enc=st.floats(0, 60), dec=st.floats(0, 20))
+    def acquire(self, enc, dec):
+        request = {"enc": enc, "dec": dec}
+        fits_before = self.resource.fits(request)
+        acquired = self.resource.acquire(request)
+        assert acquired == fits_before
+        if acquired:
+            self.held.append(request)
+
+    @precondition(lambda self: self.held)
+    @rule(data=st.data())
+    def release(self, data):
+        index = data.draw(st.integers(0, len(self.held) - 1))
+        self.resource.release(self.held.pop(index))
+
+    @invariant()
+    def conservation(self):
+        for dim, cap in self.resource.capacity.items():
+            available = self.resource.available[dim]
+            held = sum(r.get(dim, 0.0) for r in self.held)
+            assert -1e-6 <= available <= cap + 1e-6
+            assert available + held == pytest.approx(cap, abs=1e-5)
+
+
+TestResourceStateful = ResourceMachine.TestCase
+TestResourceStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,85 @@
+"""Tests for the geographic layer and global scheduler."""
+
+import pytest
+
+from repro.cluster.regions import ClusterSite, GlobalScheduler, RoutingDecision
+
+
+def make_sites():
+    return [
+        ClusterSite("us-west", region="us", location=(0.0, 0.0), capacity=2),
+        ClusterSite("us-east", region="us", location=(10.0, 0.0), capacity=2),
+        ClusterSite("eu-west", region="eu", location=(50.0, 0.0), capacity=2),
+    ]
+
+
+class TestRouting:
+    def test_prefers_nearest_cluster(self):
+        scheduler = GlobalScheduler(make_sites())
+        decision = scheduler.route(origin=(1.0, 0.0))
+        assert decision.cluster.name == "us-west"
+        assert not decision.spilled
+
+    def test_spills_when_local_full(self):
+        scheduler = GlobalScheduler(make_sites())
+        scheduler.route((1.0, 0.0))
+        scheduler.route((1.0, 0.0))  # us-west now full
+        decision = scheduler.route((1.0, 0.0))
+        assert decision.cluster.name == "us-east"
+        assert decision.spilled
+        assert scheduler.spill_count == 1
+
+    def test_rejects_when_everything_full(self):
+        scheduler = GlobalScheduler(make_sites())
+        for _ in range(6):
+            assert scheduler.route((0.0, 0.0)).cluster is not None
+        decision = scheduler.route((0.0, 0.0))
+        assert decision.cluster is None
+        assert scheduler.reject_count == 1
+
+    def test_finish_frees_capacity(self):
+        scheduler = GlobalScheduler(make_sites())
+        decision = scheduler.route((1.0, 0.0))
+        decision.cluster.finish()
+        again = scheduler.route((1.0, 0.0))
+        assert again.cluster.name == "us-west"
+        assert not again.spilled
+
+    def test_finish_without_admit_rejected(self):
+        site = ClusterSite("x", "us", (0, 0), capacity=1)
+        with pytest.raises(ValueError):
+            site.finish()
+
+    def test_duplicate_names_rejected(self):
+        sites = [ClusterSite("a", "us", (0, 0), 1), ClusterSite("a", "us", (1, 0), 1)]
+        with pytest.raises(ValueError):
+            GlobalScheduler(sites)
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalScheduler([])
+
+
+class TestRegionalBalance:
+    def test_regional_throughput_accounting(self):
+        scheduler = GlobalScheduler(make_sites())
+        scheduler.route((1.0, 0.0))  # us-west
+        scheduler.route((9.0, 0.0))  # us-east
+        scheduler.route((50.0, 0.0))  # eu-west
+        totals = scheduler.regional_throughput()
+        assert totals == {"us": 2, "eu": 1}
+
+    def test_balanced_origins_equalize_region(self):
+        # Appendix A.1's ideal: equalized cluster throughput per region.
+        scheduler = GlobalScheduler([
+            ClusterSite("us-west", "us", (0.0, 0.0), capacity=100),
+            ClusterSite("us-east", "us", (10.0, 0.0), capacity=100),
+        ])
+        for i in range(40):
+            origin = (0.0, 0.0) if i % 2 == 0 else (10.0, 0.0)
+            scheduler.route(origin)
+        assert scheduler.regional_imbalance("us") == pytest.approx(1.0)
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            GlobalScheduler(make_sites()).regional_imbalance("mars")

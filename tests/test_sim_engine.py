@@ -1,0 +1,174 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import Event
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_in(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order_with_fifo_ties():
+    sim = Simulator()
+    order = []
+    sim.call_in(2.0, lambda: order.append("b"))
+    sim.call_in(1.0, lambda: order.append("a"))
+    sim.call_in(2.0, lambda: order.append("c"))  # same time as b, added later
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    fired = []
+    sim.call_in(10.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1]
+
+
+def test_run_until_advances_idle_clock():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_process_yields_delays():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield 3.0
+        trace.append(sim.now)
+        yield 4.0
+        trace.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert trace == [0.0, 3.0, 7.0]
+
+
+def test_process_waits_on_event_and_receives_value():
+    sim = Simulator()
+    gate = sim.event()
+    got = []
+
+    def waiter():
+        value = yield gate
+        got.append((sim.now, value))
+
+    sim.process(waiter())
+    sim.call_in(6.0, lambda: gate.succeed("payload"))
+    sim.run()
+    assert got == [(6.0, "payload")]
+
+
+def test_process_waits_on_process_return_value():
+    sim = Simulator()
+    results = []
+
+    def inner():
+        yield 2.0
+        return 99
+
+    def outer():
+        value = yield sim.process(inner())
+        results.append(value)
+
+    sim.process(outer())
+    sim.run()
+    assert results == [99]
+
+
+def test_event_fires_once_only():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+
+
+def test_event_value_before_fire_raises():
+    sim = Simulator()
+    with pytest.raises(RuntimeError):
+        _ = sim.event().value
+
+
+def test_waiting_on_fired_event_resumes_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(5)
+    got = []
+
+    def waiter():
+        got.append((yield event))
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [5]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    a, b = sim.timeout(1.0, "a"), sim.timeout(5.0, "b")
+    combined = sim.all_of([a, b])
+    done_at = []
+
+    def waiter():
+        values = yield combined
+        done_at.append((sim.now, values))
+
+    sim.process(waiter())
+    sim.run()
+    assert done_at == [(5.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    combined = sim.all_of([])
+    sim.run()
+    assert combined.fired
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield -1.0
+
+    sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_scheduling_in_the_past_rejected():
+    sim = Simulator()
+    sim.call_in(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_bad_yield_type_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield "nonsense"
+
+    sim.process(proc())
+    with pytest.raises(TypeError):
+        sim.run()

@@ -1,0 +1,101 @@
+"""Tests for the deployment-timeline replay (Figure 9 machinery)."""
+
+import pytest
+
+from repro.cluster.timeline import (
+    MonthConfig,
+    default_timeline,
+    live_adoption_curve,
+    run_month,
+)
+
+
+class TestConfigs:
+    def test_timeline_length_and_months(self):
+        configs = default_timeline(12)
+        assert [c.month for c in configs] == list(range(1, 13))
+
+    def test_migration_completes_by_month_7(self):
+        configs = {c.month: c for c in default_timeline(12)}
+        assert configs[1].fraction_on_vcu == pytest.approx(0.5)
+        assert configs[7].fraction_on_vcu == pytest.approx(1.0)
+        assert configs[12].fraction_on_vcu == pytest.approx(1.0)
+
+    def test_numa_fix_lands_month_4(self):
+        configs = {c.month: c for c in default_timeline(12)}
+        assert not configs[3].numa_aware
+        assert configs[4].numa_aware
+
+    def test_software_decode_after_month_6(self):
+        configs = {c.month: c for c in default_timeline(12)}
+        assert configs[6].software_decode_fraction == 0.0
+        assert configs[7].software_decode_fraction > 0.0
+
+    def test_fleet_and_overheads_improve(self):
+        configs = default_timeline(12)
+        fleets = [c.vcu_fleet_scale for c in configs]
+        overheads = [c.step_overhead_seconds for c in configs]
+        assert fleets == sorted(fleets)
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonthConfig(1, fraction_on_vcu=1.5, numa_aware=True,
+                        software_decode_fraction=0.0, vcu_fleet_scale=1.0)
+        with pytest.raises(ValueError):
+            MonthConfig(1, fraction_on_vcu=0.5, numa_aware=True,
+                        software_decode_fraction=-0.1, vcu_fleet_scale=1.0)
+
+
+class TestRunMonth:
+    def _config(self, **overrides):
+        defaults = dict(
+            month=1, fraction_on_vcu=1.0, numa_aware=True,
+            software_decode_fraction=0.0, vcu_fleet_scale=1.0,
+        )
+        defaults.update(overrides)
+        return MonthConfig(**defaults)
+
+    def test_produces_throughput(self):
+        result = run_month(self._config(), base_vcu_workers=3, horizon_seconds=30, seed=1)
+        assert result.throughput_mpix_s > 0
+        assert result.vcu_workers == 3
+        assert 0 <= result.decoder_utilization <= 1
+
+    def test_deterministic_per_seed(self):
+        a = run_month(self._config(), base_vcu_workers=2, horizon_seconds=20, seed=9)
+        b = run_month(self._config(), base_vcu_workers=2, horizon_seconds=20, seed=9)
+        assert a.total_megapixels == b.total_megapixels
+        assert a.decoder_utilization == b.decoder_utilization
+
+    def test_fleet_scale_raises_throughput(self):
+        small = run_month(self._config(vcu_fleet_scale=1.0),
+                          base_vcu_workers=2, horizon_seconds=30, seed=4)
+        big = run_month(self._config(vcu_fleet_scale=3.0),
+                        base_vcu_workers=2, horizon_seconds=30, seed=4)
+        assert big.throughput_mpix_s > 1.5 * small.throughput_mpix_s
+
+    def test_software_share_drags_throughput(self):
+        all_vcu = run_month(self._config(fraction_on_vcu=1.0),
+                            base_vcu_workers=3, horizon_seconds=30, seed=6)
+        half = run_month(self._config(fraction_on_vcu=0.5),
+                         base_vcu_workers=3, horizon_seconds=30, seed=6)
+        assert half.throughput_mpix_s < all_vcu.throughput_mpix_s
+
+    def test_software_decode_lowers_decoder_utilization(self):
+        hw = run_month(self._config(software_decode_fraction=0.0),
+                       base_vcu_workers=3, horizon_seconds=40, seed=8)
+        sw = run_month(self._config(software_decode_fraction=0.8),
+                       base_vcu_workers=3, horizon_seconds=40, seed=8)
+        assert sw.decoder_utilization < hw.decoder_utilization
+
+
+class TestLiveCurve:
+    def test_normalized_and_monotone(self):
+        curve = live_adoption_curve(12)
+        assert curve[0] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_saturates(self):
+        curve = live_adoption_curve(24)
+        assert curve[-1] / curve[-2] < 1.02

@@ -1,0 +1,134 @@
+"""Tests for the firmware command queues and round-robin core dispatch."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.vcu.firmware import CommandKind, FirmwareCommand, VcuFirmware, WorkQueue
+
+
+def run_cmd(kind=CommandKind.RUN_ON_CORE, seconds=1.0, core_class="encoder", deps=()):
+    return FirmwareCommand(
+        kind=kind, seconds=seconds, core_class=core_class, depends_on=list(deps)
+    )
+
+
+def test_run_on_core_completes():
+    sim = Simulator()
+    fw = VcuFirmware(sim, encoder_cores=2)
+    queue = fw.attach(WorkQueue("p0"))
+    command = run_cmd(seconds=2.0)
+    done = fw.submit(queue, command)
+    sim.run()
+    assert done.fired
+    assert sim.now == pytest.approx(2.0)
+    assert command.executed_on is not None
+
+
+def test_stateless_dispatch_uses_any_idle_core():
+    # run-on-core does not name a core; two concurrent commands land on
+    # different cores and finish in parallel.
+    sim = Simulator()
+    fw = VcuFirmware(sim, encoder_cores=2)
+    queue = fw.attach(WorkQueue())
+    a, b = run_cmd(seconds=3.0), run_cmd(seconds=3.0)
+    fw.submit(queue, a)
+    fw.submit(queue, b)
+    sim.run()
+    assert sim.now == pytest.approx(3.0)
+    assert {a.executed_on, b.executed_on} == {0, 1}
+
+
+def test_work_queues_when_cores_busy():
+    sim = Simulator()
+    fw = VcuFirmware(sim, encoder_cores=1)
+    queue = fw.attach(WorkQueue())
+    fw.submit(queue, run_cmd(seconds=2.0))
+    fw.submit(queue, run_cmd(seconds=2.0))
+    sim.run()
+    assert sim.now == pytest.approx(4.0)
+
+
+def test_round_robin_fairness_across_queues():
+    # With one core and two queues each holding two commands, service
+    # must alternate: q0, q1, q0, q1.
+    sim = Simulator()
+    fw = VcuFirmware(sim, encoder_cores=1)
+    q0, q1 = fw.attach(WorkQueue("q0")), fw.attach(WorkQueue("q1"))
+    commands = {
+        "a0": run_cmd(seconds=1.0), "a1": run_cmd(seconds=1.0),
+        "b0": run_cmd(seconds=1.0), "b1": run_cmd(seconds=1.0),
+    }
+    fw.submit(q0, commands["a0"])
+    fw.submit(q0, commands["a1"])
+    fw.submit(q1, commands["b0"])
+    fw.submit(q1, commands["b1"])
+    sim.run()
+    order = [cmd for cmd in fw.dispatched]
+    assert order == [commands["a0"], commands["b0"], commands["a1"], commands["b1"]]
+
+
+def test_dependencies_allow_out_of_order_start():
+    # A later command with no dependencies starts before an earlier one
+    # whose dependency has not fired (data-dependency graph semantics).
+    sim = Simulator()
+    fw = VcuFirmware(sim, encoder_cores=1, decoder_cores=1)
+    queue = fw.attach(WorkQueue())
+    decode = run_cmd(seconds=5.0, core_class="decoder")
+    encode_dependent = run_cmd(seconds=1.0, deps=[decode])
+    independent = run_cmd(seconds=1.0)
+    fw.submit(queue, decode)
+    fw.submit(queue, encode_dependent)
+    fw.submit(queue, independent)
+    sim.run()
+    assert fw.dispatched.index(independent) < fw.dispatched.index(encode_dependent)
+    assert sim.now == pytest.approx(6.0)  # decode 5 + dependent encode 1
+
+
+def test_copy_commands_use_copy_engine():
+    sim = Simulator()
+    fw = VcuFirmware(sim, copy_engines=1)
+    queue = fw.attach(WorkQueue())
+    h2d = run_cmd(kind=CommandKind.COPY_TO_DEVICE, seconds=0.5)
+    d2h = run_cmd(kind=CommandKind.COPY_FROM_DEVICE, seconds=0.5)
+    fw.submit(queue, h2d)
+    fw.submit(queue, d2h)
+    sim.run()
+    assert sim.now == pytest.approx(1.0)  # serialized on the single engine
+
+
+def test_wait_for_done_barrier():
+    sim = Simulator()
+    fw = VcuFirmware(sim, encoder_cores=2)
+    queue = fw.attach(WorkQueue())
+    a = run_cmd(seconds=2.0)
+    b = run_cmd(seconds=4.0)
+    fw.submit(queue, a)
+    fw.submit(queue, b)
+    barrier = fw.submit(queue, run_cmd(kind=CommandKind.WAIT_FOR_DONE, deps=[a, b]))
+    fired_at = []
+
+    def wait():
+        yield barrier
+        fired_at.append(sim.now)
+
+    sim.process(wait())
+    sim.run()
+    assert fired_at == [pytest.approx(4.0)]
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        FirmwareCommand(kind=CommandKind.RUN_ON_CORE, seconds=-1.0)
+
+
+def test_work_conservation():
+    # No core idles while compatible work is queued: 4 one-second
+    # commands on 2 cores take exactly 2 seconds.
+    sim = Simulator()
+    fw = VcuFirmware(sim, encoder_cores=2)
+    queue = fw.attach(WorkQueue())
+    for _ in range(4):
+        fw.submit(queue, run_cmd(seconds=1.0))
+    sim.run()
+    assert sim.now == pytest.approx(2.0)
+    assert fw.idle_cores("encoder") == 2

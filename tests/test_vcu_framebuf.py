@@ -1,0 +1,118 @@
+"""Tests for the functional lossless frame-buffer compressor and the
+SRAM reference store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vcu.framebuf import (
+    block_compressed_bits,
+    compress_plane,
+    reference_read_fraction,
+)
+from repro.vcu.reference_store import (
+    DEFAULT_STORE_PIXELS,
+    TILE_PIXELS,
+    ReferenceStore,
+    simulate_tile_column_walk,
+)
+from repro.codec.encoder import encode_video
+from repro.codec.profiles import LIBX264
+
+
+def _reconstructed_plane(tiny_video):
+    """A realistic reconstructed reference frame (what the VCU stores)."""
+    chunk = encode_video(tiny_video, LIBX264, qp=32)
+    return chunk.frames[-1].recon
+
+
+class TestFrameBufferCompression:
+    def test_flat_plane_compresses_hugely(self):
+        result = compress_plane(np.full((64, 64), 128.0))
+        assert result.ratio > 5.0
+
+    def test_random_noise_does_not_compress(self):
+        rng = np.random.default_rng(0)
+        result = compress_plane(rng.uniform(0, 255, (64, 64)))
+        assert result.ratio < 1.2
+
+    def test_reconstructed_video_near_paper_50_percent(self, tiny_video):
+        # Section 3.2: compression reduces reference read bandwidth by
+        # approximately 50%.
+        plane = _reconstructed_plane(tiny_video)
+        fraction = reference_read_fraction(plane)
+        assert 0.3 <= fraction <= 0.7
+
+    def test_never_much_worse_than_raw(self):
+        rng = np.random.default_rng(1)
+        plane = rng.uniform(0, 255, (32, 32))
+        result = compress_plane(plane)
+        # At most raw size plus one escape bit per block.
+        assert result.compressed_bits <= result.raw_bits + (32 * 32) // 256 + 4
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            compress_plane(np.zeros((4, 4, 4)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_compression_counts_positive(self, seed):
+        plane = np.random.default_rng(seed).uniform(0, 255, (16, 16))
+        result = compress_plane(plane)
+        assert result.compressed_bits > 0
+        assert result.raw_bits == 8 * 256
+
+
+class TestReferenceStore:
+    def test_miss_then_hit(self):
+        store = ReferenceStore()
+        assert store.access(0, 0, 0) is False
+        assert store.access(0, 0, 0) is True
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+
+    def test_lru_eviction(self):
+        store = ReferenceStore(capacity_pixels=2 * TILE_PIXELS)
+        store.access(0, 0, 0)
+        store.access(0, 0, 1)
+        store.access(0, 0, 0)  # refresh tile 0
+        store.access(0, 0, 2)  # evicts tile 1 (LRU)
+        assert store.access(0, 0, 0) is True
+        assert store.access(0, 0, 1) is False
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            ReferenceStore(capacity_pixels=10)
+
+    def test_paper_geometry_fetches_each_pixel_once_per_column(self):
+        # Footnote 4: a 144K-pixel store lets each pixel in a tile column
+        # be loaded exactly once during that column's processing.
+        store = ReferenceStore(DEFAULT_STORE_PIXELS)
+        stats = simulate_tile_column_walk(store, frame_height=1024)
+        window_pixels = (512 + 2 * 128) * (1024 + 2 * 64)
+        fetched = stats.dram_pixels_fetched
+        # Everything fetched at most ~once (tile rounding allows slack).
+        assert fetched <= window_pixels * 1.15
+
+    def test_undersized_store_refetches(self):
+        big = ReferenceStore(DEFAULT_STORE_PIXELS)
+        big_stats = simulate_tile_column_walk(big, frame_height=1024)
+        small = ReferenceStore(DEFAULT_STORE_PIXELS // 8)
+        small_stats = simulate_tile_column_walk(small, frame_height=1024)
+        assert small_stats.dram_pixels_fetched > 1.5 * big_stats.dram_pixels_fetched
+
+    def test_store_must_scale_with_reference_count(self):
+        # With a store sized for all three reference windows, fetches are
+        # ~3x the single-reference walk (each pixel still loaded once);
+        # interleaving three references through the single-window store
+        # instead thrashes the LRU and blows fetches up well beyond 3x.
+        one = simulate_tile_column_walk(ReferenceStore(), 512, references=1)
+        sized = simulate_tile_column_walk(
+            ReferenceStore(3 * DEFAULT_STORE_PIXELS), 512, references=3
+        )
+        thrashed = simulate_tile_column_walk(ReferenceStore(), 512, references=3)
+        assert sized.dram_pixels_fetched == pytest.approx(
+            3 * one.dram_pixels_fetched, rel=0.1
+        )
+        assert thrashed.dram_pixels_fetched > 1.5 * sized.dram_pixels_fetched

@@ -1,0 +1,85 @@
+"""Tests for the NoC arbitration / memory-level-parallelism model."""
+
+import pytest
+
+from repro.vcu.noc import ArbitrationResult, Requester, arbitrate, vcu_requesters
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+
+
+class TestMlp:
+    def test_littles_law(self):
+        requester = Requester("enc", outstanding_requests=32, request_bytes=64)
+        limit = requester.mlp_bandwidth_limit(latency_seconds=150e-9)
+        assert limit == pytest.approx(32 * 64 / 150e-9)
+
+    def test_single_outstanding_request_starves(self):
+        # Section 3.2: without dozens of in-flight operations a core
+        # cannot come close to its ~2.15 GB/s realtime encode demand.
+        demand = 2.15e9
+        latency = 150e-9
+        shallow = Requester("enc", outstanding_requests=1, demand=demand)
+        deep = Requester("enc", outstanding_requests=32, demand=demand)
+        assert shallow.mlp_bandwidth_limit(latency) < 0.25 * demand
+        assert deep.mlp_bandwidth_limit(latency) > demand
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Requester("x", outstanding_requests=0)
+        with pytest.raises(ValueError):
+            Requester("x", outstanding_requests=1, weight=0)
+        with pytest.raises(ValueError):
+            Requester("x", outstanding_requests=1).mlp_bandwidth_limit(0)
+
+
+class TestArbitration:
+    def test_deep_prefetch_saturates_controller(self):
+        result = arbitrate(vcu_requesters(), DEFAULT_VCU_SPEC.effective_dram_bandwidth)
+        assert result.utilization > 0.95
+
+    def test_shallow_prefetch_strands_bandwidth(self):
+        requesters = vcu_requesters(encoder_outstanding=1, decoder_outstanding=1)
+        result = arbitrate(requesters, DEFAULT_VCU_SPEC.effective_dram_bandwidth)
+        assert result.utilization < 0.25
+
+    def test_demand_caps_respected(self):
+        requesters = [Requester("a", 64, demand=1e9), Requester("b", 64, demand=1e9)]
+        result = arbitrate(requesters, peak_bandwidth=10e9)
+        assert result.grants["a"] == pytest.approx(1e9)
+        assert result.grants["b"] == pytest.approx(1e9)
+
+    def test_no_requester_starved(self):
+        # A greedy unbounded client shares fairly with a small one.
+        requesters = [
+            Requester("greedy", 64, weight=1.0),
+            Requester("small", 64, demand=0.5e9, weight=1.0),
+        ]
+        result = arbitrate(requesters, peak_bandwidth=4e9)
+        assert result.grants["small"] == pytest.approx(0.5e9)
+        assert result.grants["greedy"] == pytest.approx(3.5e9)
+
+    def test_weights_bias_shares(self):
+        requesters = [
+            Requester("heavy", 64, weight=3.0),
+            Requester("light", 64, weight=1.0),
+        ]
+        result = arbitrate(requesters, peak_bandwidth=4e9)
+        assert result.grants["heavy"] == pytest.approx(3 * result.grants["light"], rel=0.01)
+
+    def test_never_exceeds_peak(self):
+        result = arbitrate(vcu_requesters(), peak_bandwidth=10e9)
+        assert result.total_granted <= 10e9 * (1 + 1e-9)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            arbitrate([Requester("a", 1), Requester("a", 1)], 1e9)
+
+    def test_bad_peak_rejected(self):
+        with pytest.raises(ValueError):
+            arbitrate([Requester("a", 1)], 0)
+
+    def test_vcu_requesters_shape(self):
+        requesters = vcu_requesters()
+        names = [r.name for r in requesters]
+        assert sum(1 for n in names if n.startswith("enc")) == 10
+        assert sum(1 for n in names if n.startswith("dec")) == 3
+        assert "dma" in names

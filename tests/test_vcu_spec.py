@@ -1,0 +1,77 @@
+"""Tests tying the VCU spec to the paper's stated speeds & feeds."""
+
+import pytest
+
+from repro.vcu.spec import (
+    DEFAULT_HOST_SPEC,
+    DEFAULT_VCU_SPEC,
+    GiB,
+    MODE_COST_FACTOR,
+    EncodingMode,
+    HostSpec,
+    VcuSpec,
+)
+from repro.video.frame import resolution
+
+
+class TestVcuSpec:
+    def test_core_counts(self):
+        assert DEFAULT_VCU_SPEC.encoder_cores == 10
+        assert DEFAULT_VCU_SPEC.decoder_cores == 3
+
+    def test_encoder_core_sustains_2160p60(self):
+        # Section 3.3.1: each encoder core encodes 2160p in realtime up to
+        # 60 FPS with three reference frames.
+        res = resolution("2160p")
+        for codec in ("h264", "vp9"):
+            rate = DEFAULT_VCU_SPEC.encode_rate(codec, EncodingMode.LOW_LATENCY_ONE_PASS)
+            fps = rate / res.pixels
+            assert fps >= 60.0
+
+    def test_dram_bandwidth_is_lpddr4_3200_x4(self):
+        # Four 32-bit LPDDR4-3200 channels ~= 36 GiB/s raw.
+        assert DEFAULT_VCU_SPEC.dram_raw_bandwidth == pytest.approx(36 * GiB)
+
+    def test_vcu_bandwidth_demand_in_paper_band(self):
+        # Section 3.3.1: the VCU needs ~27-37 GiB/s of DRAM bandwidth
+        # (10 realtime encodes worst-case + active decoders).
+        spec = DEFAULT_VCU_SPEC
+        encode_rate = spec.total_encode_rate_realtime
+        worst = encode_rate * spec.encode_bytes_per_pixel_worst
+        typical = encode_rate * spec.encode_bytes_per_pixel_typical
+        decoders = spec.decoder_cores * spec.decoder_bandwidth
+        assert 25 * GiB <= typical + decoders <= 37 * GiB
+        assert worst + decoders == pytest.approx(36 * GiB, rel=0.15)
+
+    def test_reference_compression_halves_read_bandwidth(self):
+        spec = DEFAULT_VCU_SPEC
+        assert spec.encode_bytes_per_pixel_typical < 0.7 * spec.encode_bytes_per_pixel_raw
+
+    def test_scheduler_dimensions(self):
+        assert DEFAULT_VCU_SPEC.millidecode == 3000
+        assert DEFAULT_VCU_SPEC.milliencode == 10000
+
+    def test_mode_cost_ordering(self):
+        # Realtime modes are cheapest; offline two-pass is by far the
+        # most expensive (deepest search, two passes).
+        assert MODE_COST_FACTOR[EncodingMode.LOW_LATENCY_ONE_PASS] == 1.0
+        assert MODE_COST_FACTOR[EncodingMode.OFFLINE_TWO_PASS] > MODE_COST_FACTOR[
+            EncodingMode.LAGGED_TWO_PASS
+        ]
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_VCU_SPEC.encode_rate("av1", EncodingMode.LOW_LATENCY_ONE_PASS)
+
+
+class TestHostSpec:
+    def test_20_vcus_per_host(self):
+        # 2 trays x 5 cards x 2 ASICs (Section 3.3.1).
+        assert DEFAULT_HOST_SPEC.vcus_per_host == 20
+
+    def test_nic_is_100gbps(self):
+        assert DEFAULT_HOST_SPEC.network_bandwidth_bits == pytest.approx(100e9)
+
+    def test_numa_penalty_in_paper_band(self):
+        # NUMA-aware scheduling gained 16-25% (Section 4.3).
+        assert 1.16 <= DEFAULT_HOST_SPEC.numa_penalty <= 1.25

@@ -1,0 +1,117 @@
+"""Unit tests for resolutions, frames, and raw video."""
+
+import numpy as np
+import pytest
+
+from repro.video.frame import (
+    LADDER,
+    Frame,
+    RawVideo,
+    Resolution,
+    output_ladder,
+    psnr,
+    resolution,
+    sequence_psnr,
+)
+
+
+def test_ladder_is_sorted_by_pixels():
+    pixels = [r.pixels for r in LADDER]
+    assert pixels == sorted(pixels)
+    assert LADDER[0].name == "144p"
+    assert LADDER[-1].name == "4320p"
+
+
+def test_resolution_lookup():
+    r = resolution("1080p")
+    assert (r.width, r.height) == (1920, 1080)
+    assert r.megapixels == pytest.approx(2.0736)
+
+
+def test_unknown_resolution_raises():
+    with pytest.raises(KeyError):
+        resolution("999p")
+
+
+def test_output_ladder_matches_paper_example():
+    # Figure 2b / Section 3.1: a 1080p input produces 1080p..144p.
+    names = [r.name for r in output_ladder(resolution("1080p"))]
+    assert names == ["1080p", "720p", "480p", "360p", "240p", "144p"]
+
+
+def test_output_ladder_geometric_series_property():
+    # Footnote 2: the sub-1080p rungs sum to less than 1080p itself.
+    ladder = output_ladder(resolution("1080p"))
+    top = ladder[0].pixels
+    rest = sum(r.pixels for r in ladder[1:])
+    assert rest < top
+
+
+def test_frame_requires_2d():
+    with pytest.raises(ValueError):
+        Frame(np.zeros((2, 2, 3), dtype=np.float32), resolution("144p"))
+
+
+def test_frame_converts_dtype():
+    frame = Frame(np.zeros((4, 4), dtype=np.uint8), resolution("144p"))
+    assert frame.data.dtype == np.float32
+
+
+def test_rawvideo_duration_and_pixels():
+    frames = [Frame(np.zeros((4, 8), np.float32), resolution("480p"), i) for i in range(30)]
+    video = RawVideo(frames, resolution("480p"), fps=30)
+    assert video.duration_seconds == pytest.approx(1.0)
+    assert video.nominal_pixels == resolution("480p").pixels * 30
+
+
+def test_rawvideo_rejects_empty():
+    with pytest.raises(ValueError):
+        RawVideo([], resolution("480p"), fps=30)
+
+
+def test_scaling_down_reduces_proxy_and_nominal():
+    frames = [Frame(np.arange(32 * 18, dtype=np.float32).reshape(18, 32), resolution("480p"))]
+    video = RawVideo(frames, resolution("480p"), fps=30)
+    scaled = video.scaled_to(resolution("240p"))
+    assert scaled.nominal.name == "240p"
+    assert scaled.frames[0].data.size < frames[0].data.size
+
+
+def test_upscaling_rejected():
+    frames = [Frame(np.zeros((8, 8), np.float32), resolution("240p"))]
+    video = RawVideo(frames, resolution("240p"), fps=30)
+    with pytest.raises(ValueError):
+        video.scaled_to(resolution("4320p"))
+
+
+def test_scale_to_same_resolution_is_identity():
+    frames = [Frame(np.zeros((8, 8), np.float32), resolution("240p"))]
+    video = RawVideo(frames, resolution("240p"), fps=30)
+    assert video.scaled_to(resolution("240p")) is video
+
+
+def test_psnr_identical_is_infinite():
+    plane = np.random.default_rng(0).uniform(0, 255, (8, 8))
+    assert psnr(plane, plane) == float("inf")
+
+
+def test_psnr_known_value():
+    ref = np.zeros((4, 4))
+    test = np.full((4, 4), 16.0)
+    # MSE = 256 -> PSNR = 10*log10(255^2/256) ~= 24.05 dB
+    assert psnr(ref, test) == pytest.approx(24.05, abs=0.01)
+
+
+def test_psnr_shape_mismatch():
+    with pytest.raises(ValueError):
+        psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_sequence_psnr_pools_mse():
+    res = resolution("144p")
+    ref = [Frame(np.zeros((4, 4), np.float32), res, i) for i in range(2)]
+    # One perfect frame + one noisy frame: pooled MSE halves the error.
+    out = [Frame(np.zeros((4, 4), np.float32), res, 0),
+           Frame(np.full((4, 4), 16.0, np.float32), res, 1)]
+    value = sequence_psnr(ref, out)
+    assert value == pytest.approx(24.05 + 10 * np.log10(2), abs=0.05)

@@ -1,0 +1,143 @@
+"""Tests for the workload generators and popularity model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import make_rng
+from repro.transcode.ladder import PopularityBucket
+from repro.video.frame import resolution
+from repro.workloads import (
+    GamingSession,
+    LiveStream,
+    PopularityModel,
+    UploadGenerator,
+    bucket_for_views,
+    gaming_latency_ms,
+    simulate_live_stream,
+    stretched_exponential_views,
+)
+from repro.workloads.gaming import meets_frame_budget
+from repro.workloads.live import end_to_end_latency_seconds
+
+
+class TestPopularity:
+    def test_buckets_by_views(self):
+        assert bucket_for_views(1e7) is PopularityBucket.HOT
+        assert bucket_for_views(5e3) is PopularityBucket.WARM
+        assert bucket_for_views(3) is PopularityBucket.COLD
+
+    def test_head_dominates_watch_time(self):
+        # Section 2.2: the very popular head is a small fraction of
+        # uploads but the majority of watch time.
+        shares = PopularityModel(seed=1).bucket_shares(samples=30000)
+        hot_upload, hot_watch = shares[PopularityBucket.HOT]
+        cold_upload, cold_watch = shares[PopularityBucket.COLD]
+        assert hot_upload < 0.05
+        assert hot_watch > 0.4
+        assert cold_upload > 0.5
+        assert cold_watch < 0.2
+
+    def test_views_nonnegative(self):
+        views = stretched_exponential_views(make_rng(0), 1000)
+        assert (views >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stretched_exponential_views(make_rng(0), 0)
+        with pytest.raises(ValueError):
+            stretched_exponential_views(make_rng(0), 10, shape=1.5)
+
+
+class TestUploadGenerator:
+    def test_arrivals_are_ordered_and_bounded(self):
+        gen = UploadGenerator(arrivals_per_second=1.0, seed=2)
+        videos = list(gen.videos(until=100.0))
+        times = [v.arrival_time for v in videos]
+        assert times == sorted(times)
+        assert all(0 <= t < 100 for t in times)
+        # Poisson(1/s) over 100s: roughly 100 arrivals.
+        assert 60 <= len(videos) <= 140
+
+    def test_video_ids_unique(self):
+        gen = UploadGenerator(arrivals_per_second=0.5, seed=3)
+        videos = list(gen.videos(until=50.0))
+        assert len({v.video_id for v in videos}) == len(videos)
+
+    def test_resolution_mix_respected(self):
+        gen = UploadGenerator(arrivals_per_second=5.0, seed=4)
+        videos = list(gen.videos(until=200.0))
+        share_1080 = np.mean([v.source.name == "1080p" for v in videos])
+        assert 0.25 <= share_1080 <= 0.45
+
+    def test_diurnal_envelope_shapes_rate(self):
+        gen = UploadGenerator(arrivals_per_second=2.0, seed=5, diurnal_amplitude=0.9)
+        videos = list(gen.videos(until=86400.0))
+        first_half = sum(1 for v in videos if v.arrival_time < 43200)
+        second_half = len(videos) - first_half
+        assert first_half > 1.3 * second_half  # sin peak in the first half
+
+    def test_graph_building(self):
+        gen = UploadGenerator(arrivals_per_second=1.0, seed=6)
+        video = gen.sample_video()
+        graph = gen.to_graph(video)
+        assert graph.video_id == video.video_id
+        assert graph.transcode_steps()
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            UploadGenerator(arrivals_per_second=1.0, mix={"1080p": 0.5})
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            UploadGenerator(arrivals_per_second=0.0)
+
+
+class TestLive:
+    def test_vcu_chunks_encode_in_realtime(self):
+        stream = LiveStream("s1")
+        results = simulate_live_stream(stream, 60.0, use_vcu=True)
+        assert all(r.encode_seconds < stream.chunk_seconds for r in results)
+
+    def test_software_chunks_are_slow(self):
+        stream = LiveStream("s1")
+        results = simulate_live_stream(stream, 60.0, use_vcu=False, seed=1)
+        mean_encode = np.mean([r.encode_seconds for r in results])
+        assert 6.0 <= mean_encode <= 16.0  # ~10s per 2s chunk (Section 4.5)
+
+    def test_vcu_latency_near_5_seconds(self):
+        stream = LiveStream("s1")
+        results = simulate_live_stream(stream, 120.0, use_vcu=True)
+        latency = end_to_end_latency_seconds(results, stream.chunk_seconds)
+        assert latency <= 6.0
+
+    def test_software_latency_far_worse(self):
+        stream = LiveStream("s1")
+        sw = simulate_live_stream(stream, 120.0, use_vcu=False, seed=2)
+        hw = simulate_live_stream(stream, 120.0, use_vcu=True)
+        sw_latency = end_to_end_latency_seconds(sw, stream.chunk_seconds)
+        hw_latency = end_to_end_latency_seconds(hw, stream.chunk_seconds)
+        assert sw_latency > 2.5 * hw_latency
+        assert sw_latency > 10.0
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            end_to_end_latency_seconds([], 2.0)
+
+
+class TestGaming:
+    def test_vcu_meets_4k60_budget(self):
+        # Section 4.5: Stadia delivers 4K 60 FPS with VCU low-latency
+        # two-pass VP9.
+        session = GamingSession()
+        assert meets_frame_budget(session, use_vcu=True)
+        assert gaming_latency_ms(session, use_vcu=True) < session.frame_budget_ms
+
+    def test_software_misses_budget(self):
+        session = GamingSession()
+        assert not meets_frame_budget(session, use_vcu=False)
+        assert gaming_latency_ms(session, use_vcu=False) > 3 * session.frame_budget_ms
+
+    def test_lower_resolution_easier(self):
+        hard = gaming_latency_ms(GamingSession("2160p"), use_vcu=False)
+        easy = gaming_latency_ms(GamingSession("720p"), use_vcu=False)
+        assert easy < hard
