@@ -8,22 +8,40 @@ Reproduces Section 4.4's failure story end to end on a small cluster:
    failing-but-fast device black-hole traffic and corrupt chunks escape),
    once with integrity checks + golden-task screening,
 3. then run the fleet-level workflow: telemetry sweep, per-VCU disable,
-   and the capped repair queue.
+   and the capped repair queue,
+4. finally an *unattended* chaos drill: hangs, silent corruption, and a
+   correlated host fault land mid-run while the always-on resilience
+   loop (watchdog deadlines, backoff retries, the health-state machine
+   with golden-battery rehabilitation, fault-domain eviction, and the
+   periodic failure sweeper) recovers everything without operator help.
 
 Run:  python examples/failure_drill.py
 """
 
 from __future__ import annotations
 
-from repro.cluster import CpuWorker, TranscodeCluster, VcuWorker
-from repro.failures import FailureManager, FaultInjector, RepairQueue
+from repro.cluster import (
+    CpuWorker,
+    HealthPolicy,
+    HealthState,
+    TranscodeCluster,
+    VcuWorker,
+)
+from repro.failures import (
+    BackoffPolicy,
+    FailureManager,
+    FailureSweeper,
+    FaultDomainPolicy,
+    FaultInjector,
+    RepairQueue,
+)
 from repro.failures.management import blast_radius
 from repro.metrics import format_table
 from repro.sim import Simulator
 from repro.transcode import PopularityBucket, build_transcode_graph
 from repro.vcu.chip import Vcu
 from repro.vcu.host import VcuHost
-from repro.vcu.spec import DEFAULT_VCU_SPEC
+from repro.vcu.spec import DEFAULT_VCU_SPEC, HostSpec
 from repro.vcu.telemetry import FaultKind
 from repro.video.frame import resolution
 
@@ -92,6 +110,86 @@ def main() -> None:
         queue.finish_repair(host)
     print(f"  after repair: fleet capacity {manager.fleet_capacity_fraction():.0%}, "
           f"hosts repaired: {len(queue.repaired)}")
+
+    chaos_drill()
+
+
+def _small_host(tag: str) -> VcuHost:
+    host = VcuHost(
+        host_spec=HostSpec(vcus_per_card=2, cards_per_tray=2, trays_per_host=1),
+        host_id=tag,
+    )
+    for index, vcu in enumerate(host.vcus):
+        vcu.vcu_id = f"{tag}-vcu{index}"
+        vcu.telemetry.vcu_id = vcu.vcu_id
+    return host
+
+
+def chaos_drill() -> None:
+    """The unattended drill: no manual sweeps, no manual repairs.
+
+    Two 4-VCU hosts.  Mid-run we silently corrupt one device, wedge a
+    second transiently, and hit every VCU of host A with a correlated
+    chassis hang.  Watchdog deadlines convert the hangs into telemetry
+    strikes, the health-state machine quarantines strikers, correlated
+    strikes evict host A wholesale, the periodic sweeper repairs it, and
+    golden re-screens return the devices to service -- while every video
+    still completes with zero escaped corruption.
+    """
+    print("\nUnattended chaos drill: watchdog + health machine + sweeper")
+    sim = Simulator()
+    hosts = [_small_host("chaos-a"), _small_host("chaos-b")]
+    policy = HealthPolicy(
+        strike_budget=2, rescreen_delay_seconds=20.0, screen_seconds=2.0,
+        rescreen_backoff=2.0, max_rescreen_failures=3,
+    )
+    workers = [
+        VcuWorker(v, host=h, health_policy=policy) for h in hosts for v in h.vcus
+    ]
+    cluster = TranscodeCluster(
+        sim, workers, [CpuWorker(cores=32, name="chaos-cpu")],
+        integrity_check_rate=1.0, seed=42,
+        backoff=BackoffPolicy(base_seconds=1.0, max_seconds=20.0, jitter=0.5),
+        fault_domain=FaultDomainPolicy(window_seconds=300.0, distinct_vcu_threshold=3),
+        affinity_placement=True, affinity_size=3,
+    )
+    manager = FailureManager(hosts, repair_cap=1, card_swap_threshold=1)
+    sweeper = FailureSweeper(
+        sim, manager, interval_seconds=25.0, repair_seconds=150.0, cluster=cluster
+    )
+    sweeper.start(until=2500.0)
+
+    injector = FaultInjector(sim, [v for h in hosts for v in h.vcus], seed=7)
+    injector.corrupt_at(2.0, hosts[1].vcus[0])
+    injector.hang_at(10.0, hosts[1].vcus[1], duration=200.0)
+    injector.correlated_hangs(20.0, hosts[0].vcus, stagger_seconds=2.0)
+
+    graphs = [
+        build_transcode_graph(f"chaos-v{i}", resolution("720p"), 300, 30.0,
+                              bucket=PopularityBucket.WARM)
+        for i in range(16)
+    ]
+    for i, g in enumerate(graphs):
+        sim.call_in(6.0 * i, lambda g=g: cluster.submit(g))
+    sim.run(until=2500.0)
+    sim.run()
+
+    stats = cluster.stats
+    healthy = sum(1 for w in workers if w.health is HealthState.HEALTHY)
+    print(f"  graphs completed: {stats.completed_graphs}/{len(graphs)}; "
+          f"corrupt escaped: {stats.corrupt_escaped}")
+    print(f"  hangs detected by watchdog: {stats.hangs_detected}; "
+          f"retries: {stats.retries} "
+          f"(total backoff {stats.backoff_delay_seconds:.0f}s)")
+    print(f"  workers quarantined: {stats.workers_quarantined}, "
+          f"rehabilitated: {stats.workers_rehabilitated}, "
+          f"disabled: {stats.workers_disabled}; "
+          f"hosts evicted: {stats.host_evictions}")
+    print(f"  sweeper: {sweeper.sweeps} sweeps, "
+          f"{sweeper.repairs_completed} repairs completed; "
+          f"healthy workers at end: {healthy}/{len(workers)}")
+    assert stats.completed_graphs == len(graphs)
+    assert stats.corrupt_escaped == 0
 
 
 if __name__ == "__main__":

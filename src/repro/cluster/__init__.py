@@ -7,6 +7,7 @@ paper's multi-dimensional bin-packing scheduler (Section 3.3.3) next to
 the legacy single-slot scheduler it replaced.
 """
 
+from repro.cluster.health import HealthPolicy, HealthState
 from repro.cluster.worker import CpuWorker, VcuWorker, Worker
 from repro.cluster.scheduler import (
     BinPackingScheduler,
@@ -21,6 +22,8 @@ __all__ = [
     "Worker",
     "VcuWorker",
     "CpuWorker",
+    "HealthPolicy",
+    "HealthState",
     "BinPackingScheduler",
     "SingleSlotScheduler",
     "SchedulerProtocol",

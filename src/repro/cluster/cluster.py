@@ -1,30 +1,57 @@
-"""The transcoding cluster: work queue, placement, execution, retries.
+"""The transcoding cluster: work queue, placement, execution, resilience.
 
 This ties the pieces together on the discrete-event engine: step graphs
 are submitted to a global work queue, ready steps are placed by the
 scheduler onto VCU or CPU workers, execution holds the granted resource
 vector for the step's modelled duration, and completions unblock
-dependents.  Failure handling follows Section 4.4: integrity checks catch
-most corrupt output, failed steps retry on *different* VCUs (fault
-correlation via the recorded VCU id), and hardware failures quarantine the
-worker; steps that exhaust hardware retries fall back to software
-transcoding.
+dependents.  Failure handling follows Section 4.4 as an always-on
+resilience loop:
+
+* every VCU step races a **watchdog deadline** (hung devices never
+  complete on their own; the watchdog interrupts the step process,
+  records a ``HANG`` fault in telemetry, and strikes the worker);
+* integrity checks catch most corrupt output and failed steps retry on
+  *different* VCUs with **exponential backoff + jitter** (fault
+  correlation via the recorded VCU id);
+* failures drive a per-worker **health-state machine**
+  (HEALTHY -> SUSPECT -> QUARANTINED -> RESCREENING -> HEALTHY|DISABLED)
+  with golden-battery rehabilitation, so a transiently-bad device earns
+  its way back into service instead of being refused forever;
+* correlated failures across a host's VCUs **evict the whole host**
+  (fault-domain awareness), and an optional consistent-hash affinity
+  policy confines each video's chunks to few VCUs, shrinking the blast
+  radius a single bad device can inflict;
+* steps that exhaust hardware retries fall back to software transcoding.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.cluster.health import HealthState
 from repro.cluster.metrics import ThroughputWindow, UtilizationTracker
 from repro.cluster.scheduler import BinPackingScheduler, SingleSlotScheduler
 from repro.cluster.worker import CpuWorker, VcuWorker
+from repro.failures.consistent_hash import (
+    ChunkAffinityPolicy,
+    ConsistentHashRing,
+    chunk_ordinal,
+)
+from repro.failures.watchdog import (
+    BackoffPolicy,
+    FaultDomainPolicy,
+    FaultDomainTracker,
+    WatchdogPolicy,
+)
 from repro.sim.engine import Simulator
 from repro.sim.rng import SeedLike, make_rng
 from repro.transcode.pipeline import Step, StepGraph
+from repro.vcu.host import VcuHost
+from repro.vcu.telemetry import FaultKind
 
 
 @dataclass
@@ -38,6 +65,12 @@ class ClusterStats:
     corrupt_caught: int = 0
     corrupt_escaped: int = 0
     completed_graphs: int = 0
+    hangs_detected: int = 0
+    workers_quarantined: int = 0
+    workers_rehabilitated: int = 0
+    workers_disabled: int = 0
+    host_evictions: int = 0
+    backoff_delay_seconds: float = 0.0
     throughput: ThroughputWindow = field(default_factory=ThroughputWindow)
     per_vcu_megapixels: Dict[str, float] = field(default_factory=dict)
     graph_latencies: List[float] = field(default_factory=list)
@@ -47,6 +80,29 @@ class ClusterStats:
         if span <= 0 or vcu_count == 0:
             return 0.0
         return self.throughput.total_megapixels / span / vcu_count
+
+    def counter_snapshot(self) -> Dict[str, object]:
+        """Every deterministic counter, hashable -- for reproducibility
+        checks (two same-seed runs must produce identical snapshots)."""
+        return {
+            "completed_steps": self.completed_steps,
+            "failed_placements": self.failed_placements,
+            "retries": self.retries,
+            "software_fallbacks": self.software_fallbacks,
+            "corrupt_caught": self.corrupt_caught,
+            "corrupt_escaped": self.corrupt_escaped,
+            "completed_graphs": self.completed_graphs,
+            "hangs_detected": self.hangs_detected,
+            "workers_quarantined": self.workers_quarantined,
+            "workers_rehabilitated": self.workers_rehabilitated,
+            "workers_disabled": self.workers_disabled,
+            "host_evictions": self.host_evictions,
+            "backoff_delay_seconds": round(self.backoff_delay_seconds, 9),
+            "graph_latencies": tuple(round(l, 9) for l in self.graph_latencies),
+            "per_vcu_megapixels": tuple(
+                sorted((k, round(v, 9)) for k, v in self.per_vcu_megapixels.items())
+            ),
+        }
 
 
 class TranscodeCluster:
@@ -63,6 +119,11 @@ class TranscodeCluster:
         max_hardware_attempts: int = 3,
         software_fallback: bool = True,
         seed: SeedLike = 0,
+        watchdog: Optional[WatchdogPolicy] = WatchdogPolicy(),
+        backoff: Optional[BackoffPolicy] = BackoffPolicy(),
+        fault_domain: Optional[FaultDomainPolicy] = FaultDomainPolicy(),
+        affinity_placement: bool = False,
+        affinity_size: int = 3,
     ):
         if not 0.0 <= integrity_check_rate <= 1.0:
             raise ValueError("integrity_check_rate must be in [0, 1]")
@@ -79,6 +140,17 @@ class TranscodeCluster:
         self.integrity_check_rate = integrity_check_rate
         self.max_hardware_attempts = max_hardware_attempts
         self.software_fallback = software_fallback
+        self.watchdog = watchdog
+        self.backoff = backoff
+        self._fault_domains = (
+            FaultDomainTracker(fault_domain) if fault_domain is not None else None
+        )
+        self._affinity: Optional[ChunkAffinityPolicy] = None
+        if affinity_placement and self.vcu_workers:
+            ring = ConsistentHashRing([w.name for w in self.vcu_workers])
+            self._affinity = ChunkAffinityPolicy(
+                ring, affinity_size=min(affinity_size, len(self.vcu_workers))
+            )
         self.stats = ClusterStats(throughput=ThroughputWindow(start_time=sim.now))
         self._rng = make_rng(seed)
         self._pending: Deque[Tuple[Step, Set[str]]] = deque()
@@ -88,8 +160,15 @@ class TranscodeCluster:
         self._done: Set[int] = set()
         self._graph_of: Dict[int, StepGraph] = {}
         self._graph_remaining: Dict[int, int] = {}
+        self._rehabbing: Set[str] = set()
         self.encoder_util = UtilizationTracker(sim.now)
         self.decoder_util = UtilizationTracker(sim.now)
+        # Workers that failed the golden battery at bind time enter the
+        # same rehabilitation loop as mid-run quarantines: the resilience
+        # subsystem is always on, not test-invoked.
+        for worker in self.vcu_workers:
+            if worker.health is HealthState.QUARANTINED:
+                self._note_quarantine(worker)
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -148,7 +227,15 @@ class TranscodeCluster:
 
     def _place_transcode(self, step: Step, excluded: Set[str]) -> bool:
         task = step.vcu_task
-        usable = [w for w in self.vcu_workers if w.available() and w.name not in excluded]
+        candidates = [w for w in self.vcu_workers if w.available()]
+        usable = [w for w in candidates if w.name not in excluded]
+        if candidates and not usable:
+            # Every live VCU is on this step's exclusion list -- e.g. the
+            # fleet's lone worker failed once and has since been
+            # rehabilitated.  Starvation is worse than weakened fault
+            # correlation: retry anywhere.
+            excluded = set()
+            usable = candidates
         hardware_exhausted = (
             step.software_only
             or step.attempts >= self.max_hardware_attempts
@@ -157,15 +244,18 @@ class TranscodeCluster:
         if not hardware_exhausted:
             # Request shape depends on the target worker type only through
             # the spec, identical across the fleet; probe with any worker.
-            if self.vcu_workers:
-                request = self.vcu_workers[0].request_for(task)
-                worker = self.vcu_scheduler.place(request, excluded=excluded)
-                if worker is not None:
-                    self._start_vcu_step(step, worker, request, excluded)
-                    return True
-            self.stats.failed_placements += 1
-            if not self.software_fallback:
-                return False
+            request = self.vcu_workers[0].request_for(task)
+            preference = None
+            if self._affinity is not None:
+                preference = self._affinity.placement_order(
+                    step.video_id, chunk_ordinal(step.step_id), excluded
+                )
+            worker = self.vcu_scheduler.place(
+                request, excluded=excluded, preference=preference
+            )
+            if worker is not None:
+                self._start_vcu_step(step, worker, request, excluded)
+                return True
             return False  # wait for a VCU to free up
         if self.software_fallback and self.cpu_workers:
             request = self.cpu_workers[0].request_for_transcode(task)
@@ -174,6 +264,10 @@ class TranscodeCluster:
                 self.stats.software_fallbacks += 1
                 self._start_cpu_transcode(step, worker, request)
                 return True
+            return False  # wait for software-fallback capacity
+        # No hardware path remains and no software fallback exists: a
+        # genuine placement failure, not a wait-for-capacity event.
+        self.stats.failed_placements += 1
         return False
 
     def _place_cpu(self, step: Step) -> bool:
@@ -209,12 +303,38 @@ class TranscodeCluster:
         duration = worker.step_seconds(step.vcu_task, request)
         self._record_utilization()
 
-        def run():
+        def execute() -> Generator:
             yield duration
+            if worker.vcu.hung:
+                # The device wedged while this step was in flight: it will
+                # never complete on its own.  Only the watchdog deadline
+                # (racing below) gets this work back.
+                yield self.sim.event()
+
+        def run() -> Generator:
+            work = self.sim.process(execute(), name=f"vcu-exec:{step.step_id}")
+            timer = None
+            if self.watchdog is not None:
+                deadline = self.watchdog.deadline_for(duration)
+                guard = self.sim.event()
+                timer = self.sim.call_in(deadline, lambda: guard.succeed(None))
+                index, _ = yield self.sim.any_of([work.done, guard])
+            else:
+                yield work.done
+                index = 0
             worker.release(request)
             self._release_slot_if_legacy(worker)
             self._record_utilization()
-            self._finish_vcu_step(step, worker, excluded)
+            if index == 0:
+                if timer is not None:
+                    timer.cancel()
+                self._finish_vcu_step(step, worker, excluded)
+            else:
+                # Watchdog deadline won the race: kill the worker process
+                # (one process per transcode constrains the damage) and
+                # recover the step.
+                work.interrupt("watchdog deadline")
+                self._on_watchdog_expired(step, worker, excluded)
             self._drain_pending()
 
         self.sim.process(run(), name=f"vcu:{step.step_id}")
@@ -224,15 +344,37 @@ class TranscodeCluster:
             caught = self._rng.random() < self.integrity_check_rate
             if caught:
                 # Abort everything on this VCU and retry elsewhere
-                # (Section 4.4's black-holing mitigation).
+                # (Section 4.4's black-holing mitigation).  The abort is a
+                # device reset, so it lands in telemetry too.
                 self.stats.corrupt_caught += 1
-                self.stats.retries += 1
-                worker.abort_and_quarantine()
-                self._enqueue(step, excluded | {worker.name})
+                worker.vcu.telemetry.record(FaultKind.RESET, at_time=self.sim.now)
+                if worker.abort_and_quarantine():
+                    self._note_quarantine(worker)
+                self._record_domain_fault(worker)
+                self._retry_with_backoff(step, excluded | {worker.name})
                 return
             step.corrupt_output = True
             self.stats.corrupt_escaped += 1
         self._complete(step, corrupt=step.corrupt_output)
+
+    def _on_watchdog_expired(
+        self, step: Step, worker: VcuWorker, excluded: Set[str]
+    ) -> None:
+        self.stats.hangs_detected += 1
+        worker.vcu.telemetry.record(FaultKind.HANG, at_time=self.sim.now)
+        if worker.record_strike():
+            self._note_quarantine(worker)
+        self._record_domain_fault(worker)
+        self._retry_with_backoff(step, excluded | {worker.name})
+
+    def _retry_with_backoff(self, step: Step, excluded: Set[str]) -> None:
+        self.stats.retries += 1
+        if self.backoff is None:
+            self._enqueue(step, excluded)
+            return
+        delay = self.backoff.delay_for(step.attempts, self._rng)
+        self.stats.backoff_delay_seconds += delay
+        self.sim.call_in(delay, lambda: self._enqueue(step, excluded))
 
     def _start_cpu_transcode(
         self, step: Step, worker: CpuWorker, request: Dict[str, float]
@@ -253,6 +395,82 @@ class TranscodeCluster:
         scheduler = self.vcu_scheduler if isinstance(worker, VcuWorker) else None
         if isinstance(scheduler, SingleSlotScheduler):
             scheduler.release_slot(worker)
+
+    # ------------------------------------------------------------------ #
+    # Resilience: quarantine, rehabilitation, fault domains
+
+    def _note_quarantine(self, worker: VcuWorker) -> None:
+        self.stats.workers_quarantined += 1
+        self._spawn_rehab(worker)
+
+    def _spawn_rehab(self, worker: VcuWorker) -> None:
+        """Start the rehabilitation loop for a quarantined worker.
+
+        QUARANTINED -> (wait) -> RESCREENING -> HEALTHY on a passed golden
+        battery, or back to QUARANTINED with exponential backoff between
+        attempts, until the failure budget DISABLEs the worker.  A repair
+        that lands mid-loop resets the state machine; the loop simply
+        rescreens again and the repaired device passes.
+        """
+        if worker.name in self._rehabbing:
+            return
+        self._rehabbing.add(worker.name)
+        policy = worker.health_policy
+
+        def rehab() -> Generator:
+            try:
+                delay = policy.rescreen_delay_seconds
+                while True:
+                    yield delay
+                    if worker.health in (HealthState.HEALTHY, HealthState.DISABLED):
+                        return
+                    if worker.health is not HealthState.QUARANTINED:
+                        continue
+                    worker.begin_rescreen()
+                    yield policy.screen_seconds
+                    if worker.health is not HealthState.RESCREENING:
+                        # A repair reset the machine mid-battery; screen
+                        # again from scratch.
+                        continue
+                    if worker.finish_rescreen():
+                        self.stats.workers_rehabilitated += 1
+                        self._drain_pending()
+                        return
+                    worker.vcu.telemetry.record(
+                        FaultKind.GOLDEN_FAIL, at_time=self.sim.now
+                    )
+                    if worker.health is HealthState.DISABLED:
+                        self.stats.workers_disabled += 1
+                        return
+                    delay *= policy.rescreen_backoff
+            finally:
+                self._rehabbing.discard(worker.name)
+
+        self.sim.process(rehab(), name=f"rehab:{worker.name}")
+
+    def _record_domain_fault(self, worker: VcuWorker) -> None:
+        if self._fault_domains is None or worker.host is None:
+            return
+        if self._fault_domains.record(
+            worker.host.host_id, worker.vcu.vcu_id, self.sim.now
+        ):
+            self._evict_host(worker.host)
+
+    def _evict_host(self, host: VcuHost) -> None:
+        """Correlated failures condemn the shared fault domain: pull the
+        whole host from placement, not just the VCU that happened to fail
+        last.  The host re-enters service through the repair flow."""
+        if host.unusable:
+            return
+        host.unusable = True
+        self.stats.host_evictions += 1
+
+    def on_host_repaired(self, host: VcuHost) -> None:
+        """A repair finished: golden re-screen every worker it touched."""
+        for worker in self.vcu_workers:
+            if worker.host is host and worker.reset_after_repair():
+                self._spawn_rehab(worker)
+        self._drain_pending()
 
     # ------------------------------------------------------------------ #
     # Completion

@@ -25,8 +25,28 @@ class PlaceableWorker(Protocol):  # pragma: no cover - structural typing
 
 class SchedulerProtocol(Protocol):  # pragma: no cover
     def place(
-        self, request: Dict[str, float], excluded: Set[str] = frozenset()
+        self,
+        request: Dict[str, float],
+        excluded: Set[str] = frozenset(),
+        preference: Optional[Sequence[str]] = None,
     ) -> Optional[PlaceableWorker]: ...
+
+
+def _ordered_workers(
+    workers: Sequence[PlaceableWorker], preference: Optional[Sequence[str]]
+) -> Sequence[PlaceableWorker]:
+    """Probe order: the caller's preferred names first, then the rest.
+
+    ``preference`` is how consistent-hash chunk affinity plugs into
+    placement (Section 4.4's blast-radius enhancement) without the
+    scheduler knowing anything about videos.
+    """
+    if not preference:
+        return workers
+    by_name = {w.name: w for w in workers}
+    preferred = [by_name[name] for name in preference if name in by_name]
+    chosen = set(preference)
+    return preferred + [w for w in workers if w.name not in chosen]
 
 
 class BinPackingScheduler:
@@ -48,14 +68,18 @@ class BinPackingScheduler:
         self._workers.remove(worker)
 
     def place(
-        self, request: Dict[str, float], excluded: Set[str] = frozenset()
+        self,
+        request: Dict[str, float],
+        excluded: Set[str] = frozenset(),
+        preference: Optional[Sequence[str]] = None,
     ) -> Optional[PlaceableWorker]:
         """First worker (by number) whose availability fits the request.
 
         ``excluded`` carries worker names the step must avoid -- e.g. VCUs
         it already failed on (Section 4.4's fault-correlation retries).
+        ``preference`` front-loads the probe order (chunk affinity).
         """
-        for worker in self._workers:
+        for worker in _ordered_workers(self._workers, preference):
             if worker.name in excluded or not worker.available():
                 continue
             if worker.try_admit(request):
@@ -88,12 +112,15 @@ class SingleSlotScheduler:
         return list(self._workers)
 
     def place(
-        self, request: Dict[str, float], excluded: Set[str] = frozenset()
+        self,
+        request: Dict[str, float],
+        excluded: Set[str] = frozenset(),
+        preference: Optional[Sequence[str]] = None,
     ) -> Optional[PlaceableWorker]:
         """One slot per step; the request's actual shape is ignored, but
         the worker's physical resources are still reserved (a real machine
         cannot run what does not fit)."""
-        for worker in self._workers:
+        for worker in _ordered_workers(self._workers, preference):
             if worker.name in excluded or not worker.available():
                 continue
             if self._slots[worker.name] <= 0:

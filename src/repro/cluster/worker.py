@@ -16,12 +16,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.baselines.cpu import SkylakeSystem
+from repro.cluster.health import HealthPolicy, HealthState
 from repro.sim.resources import MultiResource
 from repro.vcu.chip import Vcu, VcuTask, processing_seconds, resource_request
 from repro.vcu.spec import VcuSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vcu.host import VcuHost
 
 #: Fixed per-step overhead on a VCU worker: process spawn (one process per
 #: transcode), queue setup, stream mux/demux on the host.
@@ -61,14 +65,22 @@ class VcuWorker(Worker):
         host_multiplier: float = None,
         decode_safety_factor: float = 1.0,
         step_overhead_seconds: float = STEP_OVERHEAD_SECONDS,
+        host: Optional["VcuHost"] = None,
+        health_policy: Optional[HealthPolicy] = None,
     ):
         super().__init__(name=f"worker:{vcu.vcu_id}")
         self.vcu = vcu
+        #: The physical fault domain this worker's VCU lives in (optional;
+        #: lets the cluster evict a whole host on correlated failures).
+        self.host = host
         self.target_speedup = target_speedup
         self.decode_safety_factor = decode_safety_factor
         self.step_overhead_seconds = step_overhead_seconds
         self.golden_screening = golden_screening
-        self.refused = False
+        self.health_policy = health_policy or HealthPolicy()
+        self.health = HealthState.HEALTHY
+        self.strikes = 0
+        self.rescreen_failures = 0
         if host_multiplier is None:
             host_multiplier = 1.0 if numa_aware else 1.0 / 1.20
         self.host_multiplier = host_multiplier
@@ -78,14 +90,27 @@ class VcuWorker(Worker):
     def _screen(self) -> None:
         """Functional reset + golden transcode battery before taking work."""
         if not self.vcu.golden_check():
-            self.refused = True
+            self.health = HealthState.QUARANTINED
+
+    #: States in which the worker still accepts work.  SUSPECT serves on
+    #: purpose: one watchdog strike is a warning, not a conviction, and a
+    #: suspect device must keep taking steps to either clear itself or
+    #: exhaust the strike budget.
+    _SERVING_STATES = (HealthState.HEALTHY, HealthState.SUSPECT)
+
+    @property
+    def refused(self) -> bool:
+        """Back-compat view: any non-serving state refuses new work."""
+        return self.health not in self._SERVING_STATES
 
     @property
     def resources(self) -> MultiResource:
         return self.vcu.resources
 
     def available(self) -> bool:
-        return not self.refused and not self.vcu.disabled
+        if self.health not in self._SERVING_STATES or self.vcu.disabled:
+            return False
+        return self.host is None or not self.host.unusable
 
     def request_for(self, task: VcuTask) -> Dict[str, float]:
         return resource_request(
@@ -116,9 +141,80 @@ class VcuWorker(Worker):
         self.vcu.release(request)
         self.active_steps -= 1
 
-    def abort_and_quarantine(self) -> None:
-        """On a hardware failure: refuse further work until re-screened."""
-        self.refused = True
+    # -------------------------------------------------------------- #
+    # Health-state machine transitions (see repro.cluster.health)
+
+    def abort_and_quarantine(self) -> bool:
+        """On a confirmed hardware failure: refuse work until re-screened.
+
+        Returns True when this call performed the quarantine (False when
+        the worker was already out of service)."""
+        if self.health in (HealthState.HEALTHY, HealthState.SUSPECT):
+            self.health = HealthState.QUARANTINED
+            return True
+        return False
+
+    def record_strike(self) -> bool:
+        """A watchdog strike (hang).  Returns True when it quarantines.
+
+        The first strike marks the worker SUSPECT (it keeps serving);
+        exhausting the policy's strike budget quarantines it.
+        """
+        if self.health in (HealthState.QUARANTINED, HealthState.RESCREENING,
+                           HealthState.DISABLED):
+            return False
+        self.strikes += 1
+        if self.strikes >= self.health_policy.strike_budget:
+            self.health = HealthState.QUARANTINED
+            return True
+        self.health = HealthState.SUSPECT
+        return False
+
+    def begin_rescreen(self) -> None:
+        if self.health is not HealthState.QUARANTINED:
+            raise RuntimeError(
+                f"cannot rescreen {self.name} from state {self.health.value}"
+            )
+        self.health = HealthState.RESCREENING
+
+    def finish_rescreen(self) -> bool:
+        """Complete the golden battery: True restores HEALTHY.
+
+        A failure returns the worker to QUARANTINED (the cluster backs off
+        and retries) until the policy's failure budget is exhausted, at
+        which point the worker -- and its device -- are DISABLED pending a
+        physical repair.
+        """
+        if self.health is not HealthState.RESCREENING:
+            raise RuntimeError(
+                f"cannot finish rescreen of {self.name} in state {self.health.value}"
+            )
+        if not self.vcu.disabled and self.vcu.golden_check():
+            self.health = HealthState.HEALTHY
+            self.strikes = 0
+            self.rescreen_failures = 0
+            return True
+        self.rescreen_failures += 1
+        if self.rescreen_failures >= self.health_policy.max_rescreen_failures:
+            self.health = HealthState.DISABLED
+            self.vcu.disable()
+        else:
+            self.health = HealthState.QUARANTINED
+        return False
+
+    def reset_after_repair(self) -> bool:
+        """A repair touched this worker's device: queue a fresh re-screen.
+
+        Returns True when the worker moved into QUARANTINED (so the
+        caller should schedule rehabilitation); HEALTHY workers are left
+        alone.
+        """
+        if self.health is HealthState.HEALTHY:
+            return False
+        self.health = HealthState.QUARANTINED
+        self.strikes = 0
+        self.rescreen_failures = 0
+        return True
 
 
 # Software fallback throughput comes from the Skylake model.

@@ -1,17 +1,31 @@
 """Failure management (Section 4.4): injection, detection, repair.
 
 The full life cycle the paper describes: fault injection into a running
-cluster, telemetry-driven VCU disablement, golden-task screening of new
-workers, black-holing detection/mitigation, capped repair queues, and
-blast-radius accounting for corrupt chunks.
+cluster (silent corruption, hard faults, hangs -- single-device and
+correlated per fault domain), telemetry-driven VCU disablement, golden-
+task screening and re-screening of workers, black-holing detection and
+mitigation, watchdog deadlines with backoff retries, capped repair
+queues, the always-on :class:`FailureSweeper` loop, and blast-radius
+accounting for corrupt chunks.
 """
 
 from repro.failures.injector import FaultEvent, FaultInjector
-from repro.failures.management import FailureManager, RepairQueue
+from repro.failures.management import FailureManager, FailureSweeper, RepairQueue
+from repro.failures.watchdog import (
+    BackoffPolicy,
+    FaultDomainPolicy,
+    FaultDomainTracker,
+    WatchdogPolicy,
+)
 
 __all__ = [
     "FaultInjector",
     "FaultEvent",
     "FailureManager",
+    "FailureSweeper",
     "RepairQueue",
+    "WatchdogPolicy",
+    "BackoffPolicy",
+    "FaultDomainPolicy",
+    "FaultDomainTracker",
 ]

@@ -25,6 +25,18 @@ def _hash64(key: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+def chunk_ordinal(key: str, modulus: int = 1 << 20) -> int:
+    """A stable small integer for rotating within an affinity set.
+
+    Placement needs a per-chunk ordinal that is identical across runs and
+    processes; step ids are strings, so hash them with the same salted-
+    hash-free digest the ring uses.
+    """
+    if modulus < 1:
+        raise ValueError("modulus must be >= 1")
+    return _hash64(key) % modulus
+
+
 class ConsistentHashRing:
     """A classic consistent-hash ring with virtual nodes."""
 

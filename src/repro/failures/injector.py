@@ -1,22 +1,30 @@
 """Fault injection: makes VCUs fail while the cluster runs.
 
-Two fault flavours matter to the evaluation:
+Three fault flavours matter to the evaluation:
 
 * *hard* faults -- ECC storms, resets -- that show up in telemetry and get
-  the VCU disabled by the fault-management sweep, and
+  the VCU disabled by the fault-management sweep,
 * *silent corruption* -- the dangerous one: the VCU keeps completing work
   (often faster than healthy devices because it skips real work), feeding
-  the black-holing failure mode of Section 4.4.
+  the black-holing failure mode of Section 4.4, and
+* *hangs* -- a wedged device whose in-flight steps never complete; only a
+  watchdog deadline gets the work back.
+
+Besides single-device injection, :meth:`FaultInjector.correlated_host_fault`
+and :meth:`FaultInjector.correlated_hangs` model shared-fault-domain
+events (a chassis PCIe riser, a power rail) that take out several VCUs of
+one host nearly at once -- the case fault-domain-aware eviction exists for.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import SeedLike, make_rng
 from repro.vcu.chip import Vcu
+from repro.vcu.host import VcuHost
 from repro.vcu.telemetry import FaultKind
 
 
@@ -26,7 +34,7 @@ class FaultEvent:
 
     at_time: float
     vcu_id: str
-    kind: str  # "silent_corruption" or a FaultKind value
+    kind: str  # "silent_corruption", "hang", or a FaultKind value
 
 
 class FaultInjector:
@@ -45,6 +53,25 @@ class FaultInjector:
         self.sim.call_at(at_time, vcu.mark_corrupt)
         return event
 
+    def hang_at(
+        self, at_time: float, vcu: Vcu, duration: Optional[float] = None
+    ) -> FaultEvent:
+        """Wedge one VCU at a given time.
+
+        With ``duration`` the hang is transient (a firmware stall that
+        clears itself); otherwise the device stays wedged until a repair.
+        Either way, any step in flight when the hang lands stalls and must
+        be recovered by the cluster's watchdog.
+        """
+        event = FaultEvent(at_time=at_time, vcu_id=vcu.vcu_id, kind="hang")
+        self.injected.append(event)
+        self.sim.call_at(at_time, vcu.mark_hung)
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("hang duration must be positive")
+            self.sim.call_at(at_time + duration, vcu.clear_hang)
+        return event
+
     def hard_fault_at(
         self, at_time: float, vcu: Vcu, kind: FaultKind, count: int = 1
     ) -> FaultEvent:
@@ -56,6 +83,45 @@ class FaultInjector:
         )
         return event
 
+    def correlated_host_fault(
+        self,
+        at_time: float,
+        host: VcuHost,
+        kind: FaultKind = FaultKind.PCIE,
+        vcu_count: Optional[int] = None,
+        count_per_vcu: int = 1,
+        stagger_seconds: float = 0.0,
+    ) -> List[FaultEvent]:
+        """A shared-domain hard fault hitting several VCUs of one host.
+
+        ``vcu_count`` limits how many of the host's VCUs are hit (all by
+        default); ``stagger_seconds`` spaces the per-VCU events slightly,
+        as a real cascading chassis fault would.
+        """
+        victims = host.vcus if vcu_count is None else host.vcus[:vcu_count]
+        return [
+            self.hard_fault_at(
+                at_time + index * stagger_seconds, vcu, kind, count=count_per_vcu
+            )
+            for index, vcu in enumerate(victims)
+        ]
+
+    def correlated_hangs(
+        self,
+        at_time: float,
+        vcus: Sequence[Vcu],
+        duration: Optional[float] = None,
+        stagger_seconds: float = 0.0,
+    ) -> List[FaultEvent]:
+        """Wedge several devices almost at once (one shared fault domain)."""
+        return [
+            self.hang_at(at_time + index * stagger_seconds, vcu, duration=duration)
+            for index, vcu in enumerate(vcus)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Random (Poisson) fleet-wide injection
+
     def random_corruptions(
         self, rate_per_vcu_hour: float, until: float
     ) -> List[FaultEvent]:
@@ -63,8 +129,39 @@ class FaultInjector:
 
         VCU failures are largely independent (Section 4.4: card swaps
         correlate with single-VCU failures), so each device draws its own
-        Poisson process.
+        Poisson process: exponential inter-arrival gaps, looped until the
+        horizon (not just the first arrival).
         """
+        return self._poisson_arrivals(rate_per_vcu_hour, until, self.corrupt_at)
+
+    def random_hangs(
+        self,
+        rate_per_vcu_hour: float,
+        until: float,
+        duration: Optional[float] = None,
+    ) -> List[FaultEvent]:
+        """Poisson hang arrivals across the fleet."""
+        return self._poisson_arrivals(
+            rate_per_vcu_hour,
+            until,
+            lambda at, vcu: self.hang_at(at, vcu, duration=duration),
+        )
+
+    def random_hard_faults(
+        self,
+        rate_per_vcu_hour: float,
+        until: float,
+        kind: FaultKind = FaultKind.ECC_UNCORRECTABLE,
+        count: int = 1,
+    ) -> List[FaultEvent]:
+        """Poisson hard-fault arrivals (telemetry hits) across the fleet."""
+        return self._poisson_arrivals(
+            rate_per_vcu_hour,
+            until,
+            lambda at, vcu: self.hard_fault_at(at, vcu, kind, count=count),
+        )
+
+    def _poisson_arrivals(self, rate_per_vcu_hour, until, inject) -> List[FaultEvent]:
         if rate_per_vcu_hour < 0:
             raise ValueError("rate must be >= 0")
         events: List[FaultEvent] = []
@@ -73,6 +170,7 @@ class FaultInjector:
             return events
         for vcu in self.vcus:
             t = float(self._rng.exponential(1.0 / rate_per_second))
-            if t < until:
-                events.append(self.corrupt_at(t, vcu))
+            while t < until:
+                events.append(inject(t, vcu))
+                t += float(self._rng.exponential(1.0 / rate_per_second))
         return events

@@ -6,15 +6,25 @@ host, is the lowest unit of fault management -- each has an independent
 power rail); hosts with enough component faults are marked unusable and
 queued for repair; and the number of systems allowed in repair states is
 capped so a faulty repair *signal* cannot black-hole fleet capacity.
+
+:class:`FailureSweeper` runs the whole workflow unattended as a periodic
+simulator process: sweep telemetry, start capped repairs, model the
+technician's repair time, and hand repaired hosts back to the cluster so
+their workers are golden re-screened before taking work again.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, Generator, List, Optional, Sequence, TYPE_CHECKING
 
+from repro.sim.engine import Process, Simulator
 from repro.vcu.host import VcuHost
+from repro.vcu.telemetry import FaultKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import TranscodeCluster
 
 
 @dataclass
@@ -38,6 +48,10 @@ class RepairQueue:
         self.waiting.append(host)
         return True
 
+    def queued(self, host: VcuHost) -> bool:
+        """Whether the host is already anywhere in the repair flow."""
+        return host in self.waiting or host in self.in_repair
+
     def start_repairs(self) -> List[VcuHost]:
         started = []
         while self.waiting and len(self.in_repair) < self.cap:
@@ -52,16 +66,31 @@ class RepairQueue:
         host.component_faults = 0
         for vcu in host.vcus:
             vcu.enable()
+            # A repair swaps the faulty silicon: the replacement starts
+            # with clean counters.  Without this, the next sweep re-reads
+            # the old fault history and re-disables the fresh device.
+            vcu.telemetry.counters = {kind: 0 for kind in FaultKind}
+            vcu.telemetry.history.clear()
         self.repaired.append(host)
 
 
 class FailureManager:
     """Periodic telemetry sweeps across hosts, driving disables/repairs."""
 
-    def __init__(self, hosts: Sequence[VcuHost], repair_cap: int = 2):
+    def __init__(
+        self,
+        hosts: Sequence[VcuHost],
+        repair_cap: int = 2,
+        card_swap_threshold: Optional[int] = None,
+    ):
         self.hosts = list(hosts)
         self.repair_queue = RepairQueue(cap=repair_cap)
         self.disabled_vcus: List[str] = []
+        #: When set, a host with at least this many *disabled* VCUs is
+        #: queued for repair (a card swap) even before it turns unusable.
+        #: ``None`` preserves the stricter behaviour: only unusable hosts
+        #: enter the repair flow.
+        self.card_swap_threshold = card_swap_threshold
 
     def sweep(self) -> List[str]:
         """One pass over all hosts; returns newly-disabled VCU ids."""
@@ -69,10 +98,18 @@ class FailureManager:
         for host in self.hosts:
             for vcu in host.sweep_telemetry():
                 newly_disabled.append(vcu.vcu_id)
-            if host.unusable and host not in self.repair_queue.in_repair:
+            if self._needs_repair(host) and not self.repair_queue.queued(host):
                 self.repair_queue.enqueue(host)
         self.disabled_vcus.extend(newly_disabled)
         return newly_disabled
+
+    def _needs_repair(self, host: VcuHost) -> bool:
+        if host.unusable:
+            return True
+        if self.card_swap_threshold is None:
+            return False
+        disabled = sum(1 for vcu in host.vcus if vcu.disabled)
+        return disabled >= self.card_swap_threshold
 
     def available_vcu_count(self) -> int:
         return sum(len(host.healthy_vcus()) for host in self.hosts)
@@ -80,6 +117,60 @@ class FailureManager:
     def fleet_capacity_fraction(self) -> float:
         total = sum(len(host.vcus) for host in self.hosts)
         return self.available_vcu_count() / total if total else 0.0
+
+
+class FailureSweeper:
+    """The always-on fault-management loop, as a simulator process.
+
+    Every ``interval_seconds``: sweep telemetry (disabling VCUs and
+    queueing hosts), start repairs up to the cap, and model each repair as
+    taking ``repair_seconds`` of technician time with the host drained.
+    When a ``cluster`` is attached, repaired hosts are handed back so the
+    cluster re-screens their workers before they serve again.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: FailureManager,
+        interval_seconds: float = 60.0,
+        repair_seconds: float = 900.0,
+        cluster: Optional["TranscodeCluster"] = None,
+    ):
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if repair_seconds < 0:
+            raise ValueError("repair_seconds must be >= 0")
+        self.sim = sim
+        self.manager = manager
+        self.interval_seconds = interval_seconds
+        self.repair_seconds = repair_seconds
+        self.cluster = cluster
+        self.sweeps = 0
+        self.repairs_started = 0
+        self.repairs_completed = 0
+
+    def start(self, until: float) -> Process:
+        """Run periodic sweeps until the ``until`` horizon (sim time)."""
+        return self.sim.process(self._run(until), name="failure-sweeper")
+
+    def _run(self, until: float) -> Generator:
+        while self.sim.now + self.interval_seconds <= until:
+            yield self.interval_seconds
+            self.manager.sweep()
+            self.sweeps += 1
+            for host in self.manager.repair_queue.start_repairs():
+                self.repairs_started += 1
+                self.sim.process(self._repair(host), name=f"repair:{host.host_id}")
+
+    def _repair(self, host: VcuHost) -> Generator:
+        # Drained while the technician works on it.
+        host.unusable = True
+        yield self.repair_seconds
+        self.manager.repair_queue.finish_repair(host)
+        self.repairs_completed += 1
+        if self.cluster is not None:
+            self.cluster.on_host_repaired(host)
 
 
 def blast_radius(processed_by: Sequence[Optional[str]], corrupt_vcu: str) -> int:

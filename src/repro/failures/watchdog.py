@@ -1,0 +1,112 @@
+"""Watchdog deadlines, retry backoff, and fault-domain eviction.
+
+Three policies the cluster's resilience loop runs on:
+
+* :class:`WatchdogPolicy` -- per-step deadlines.  The step-duration model
+  is exact, so a healthy step always finishes well inside its deadline; a
+  hung device (firmware wedge, PCIe stall) never completes, and the
+  watchdog is the only way that work comes back.  Section 4.4's fault
+  workflow assumes hangs are detected and converted into telemetry.
+* :class:`BackoffPolicy` -- bounded retries with exponential backoff plus
+  deterministic jitter, so a burst of correlated failures does not
+  thundering-herd the survivors with synchronized retries.
+* :class:`FaultDomainTracker` -- correlates failures by physical fault
+  domain (host).  One bad VCU is a card problem; several distinct VCUs of
+  the same host failing inside a short window points at the shared
+  chassis/PCIe/power domain, and the whole host should be evicted rather
+  than letting the scheduler discover each VCU's badness separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Deadline = ``multiplier`` x expected duration + ``slack``, floored."""
+
+    deadline_multiplier: float = 4.0
+    slack_seconds: float = 5.0
+    min_deadline_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_multiplier < 1.0:
+            raise ValueError("deadline_multiplier must be >= 1")
+        if self.slack_seconds < 0 or self.min_deadline_seconds < 0:
+            raise ValueError("slack and minimum deadline must be >= 0")
+
+    def deadline_for(self, expected_seconds: float) -> float:
+        return max(
+            self.min_deadline_seconds,
+            expected_seconds * self.deadline_multiplier + self.slack_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with jitter for step retries."""
+
+    base_seconds: float = 2.0
+    multiplier: float = 2.0
+    max_seconds: float = 120.0
+    #: Uniform jitter fraction: the delay is scaled by [1, 1 + jitter).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0 or self.max_seconds < self.base_seconds:
+            raise ValueError("need 0 <= base_seconds <= max_seconds")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def delay_for(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        raw = min(
+            self.max_seconds, self.base_seconds * self.multiplier ** (attempt - 1)
+        )
+        return raw * (1.0 + self.jitter * float(rng.random()))
+
+
+@dataclass(frozen=True)
+class FaultDomainPolicy:
+    """When correlated per-VCU failures condemn the shared host."""
+
+    window_seconds: float = 300.0
+    #: Distinct VCUs of one host that must fail inside the window.
+    distinct_vcu_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.distinct_vcu_threshold < 2:
+            raise ValueError("distinct_vcu_threshold must be >= 2 (one VCU is a card problem)")
+
+
+class FaultDomainTracker:
+    """Sliding-window failure correlation per physical host."""
+
+    def __init__(self, policy: FaultDomainPolicy = FaultDomainPolicy()):
+        self.policy = policy
+        self._events: Dict[str, List[Tuple[float, str]]] = {}
+        self.evicted_hosts: List[str] = []
+
+    def record(self, host_id: str, vcu_id: str, now: float) -> bool:
+        """Record one VCU failure; True means "evict the whole host"."""
+        window = self._events.setdefault(host_id, [])
+        window.append((now, vcu_id))
+        cutoff = now - self.policy.window_seconds
+        window[:] = [(t, v) for t, v in window if t >= cutoff]
+        distinct: Set[str] = {v for _, v in window}
+        if len(distinct) >= self.policy.distinct_vcu_threshold:
+            if host_id not in self.evicted_hosts:
+                self.evicted_hosts.append(host_id)
+            window.clear()
+            return True
+        return False

@@ -14,14 +14,16 @@ engine.  It provides:
   generators so every experiment is reproducible.
 """
 
-from repro.sim.engine import Event, Process, Simulator
+from repro.sim.engine import Event, Interrupt, Process, Simulator, Timer
 from repro.sim.resources import CapacityResource, InsufficientCapacity, MultiResource
 from repro.sim.rng import make_rng, split_rng
 
 __all__ = [
     "Event",
+    "Interrupt",
     "Process",
     "Simulator",
+    "Timer",
     "CapacityResource",
     "MultiResource",
     "InsufficientCapacity",

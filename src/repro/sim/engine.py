@@ -6,6 +6,18 @@ plus generator-based processes.  Processes are plain Python generators that
 :class:`Event` to wait on.  Determinism matters for the reproduction -- two
 runs with the same seed must produce identical schedules -- so ties in the
 event queue are broken by a monotonically increasing sequence number.
+
+Three primitives support the fleet-resilience subsystem:
+
+* :meth:`Simulator.call_at` / :meth:`Simulator.call_in` return a
+  :class:`Timer` handle whose :meth:`Timer.cancel` defuses the callback
+  (cancelled entries are dropped without advancing the clock, so stale
+  watchdog deadlines do not stretch a run's end time);
+* :meth:`Process.interrupt` throws :class:`Interrupt` into a running
+  process, terminating it unless the generator catches the exception --
+  how a watchdog kills a hung step; and
+* :meth:`Simulator.any_of` builds a first-of-N event so a step's
+  completion can race its deadline.
 """
 
 from __future__ import annotations
@@ -13,6 +25,34 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries why the process was interrupted (e.g. the watchdog
+    deadline that fired).  A process may catch it and keep running; if it
+    propagates, the process terminates and its ``done`` event fires with
+    the :class:`Interrupt` instance as its value so waiters can tell a
+    cancellation from a normal return.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timer:
+    """A handle for one scheduled callback; ``cancel()`` defuses it."""
+
+    __slots__ = ("when", "cancelled")
+
+    def __init__(self, when: float):
+        self.when = when
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 class Event:
@@ -29,7 +69,9 @@ class Event:
         self.sim = sim
         self._value: Any = None
         self._fired = False
-        self._waiters: List["Process"] = []
+        # (process, wait_epoch): the epoch lets an interrupted process
+        # ignore a wake-up from an event it was no longer waiting on.
+        self._waiters: List[Tuple["Process", int]] = []
 
     @property
     def fired(self) -> bool:
@@ -47,8 +89,8 @@ class Event:
             raise RuntimeError("event fired twice")
         self._fired = True
         self._value = value
-        for process in self._waiters:
-            self.sim._schedule_resume(process, self._value)
+        for process, epoch in self._waiters:
+            self.sim._schedule_resume(process, self._value, epoch=epoch)
         self._waiters.clear()
         return self
 
@@ -56,7 +98,7 @@ class Event:
         if self._fired:
             self.sim._schedule_resume(process, self._value)
         else:
-            self._waiters.append(process)
+            self._waiters.append((process, process._epoch))
 
 
 class Process:
@@ -66,19 +108,48 @@ class Process:
     returns, the process's completion event fires with the return value.
     """
 
-    __slots__ = ("sim", "name", "_generator", "done")
+    __slots__ = ("sim", "name", "_generator", "done", "_epoch", "interrupted")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         self.sim = sim
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self.done = Event(sim)
+        # Bumped on interrupt so stale scheduled resumes are dropped.
+        self._epoch = 0
+        self.interrupted = False
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.done.fired
+
+    def interrupt(self, cause: Any = None) -> bool:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Returns False (a no-op) when the process already finished -- the
+        natural race between a watchdog and a completing step.  If the
+        generator does not catch the exception the process terminates and
+        ``done`` fires with the :class:`Interrupt` as its value.
+        """
+        if self.done.fired:
+            return False
+        self._epoch += 1
+        self.interrupted = True
+        self._advance(lambda: self._generator.throw(Interrupt(cause)))
+        return True
 
     def _resume(self, value: Any) -> None:
+        self._advance(lambda: self._generator.send(value))
+
+    def _advance(self, step: Callable[[], Any]) -> None:
         try:
-            yielded = self._generator.send(value)
+            yielded = step()
         except StopIteration as stop:
             self.done.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # The generator let the interrupt propagate: terminated.
+            self.done.succeed(interrupt)
             return
         if isinstance(yielded, Event):
             yielded._add_waiter(self)
@@ -100,7 +171,7 @@ class Simulator:
 
     def __init__(self):
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Timer, Callable[[], None]]] = []
         self._sequence = itertools.count()
 
     @property
@@ -117,14 +188,16 @@ class Simulator:
         self._schedule_resume(process, None)
         return process
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
         """Schedule a plain callback at an absolute virtual time."""
         if when < self._now:
             raise ValueError(f"cannot schedule at {when} before now={self._now}")
-        heapq.heappush(self._queue, (when, next(self._sequence), callback))
+        timer = Timer(when)
+        heapq.heappush(self._queue, (when, next(self._sequence), timer, callback))
+        return timer
 
-    def call_in(self, delay: float, callback: Callable[[], None]) -> None:
-        self.call_at(self._now + delay, callback)
+    def call_in(self, delay: float, callback: Callable[[], None]) -> Timer:
+        return self.call_at(self._now + delay, callback)
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that fires after ``delay`` seconds of virtual time."""
@@ -153,13 +226,37 @@ class Simulator:
             self.process(_collector(index, source), name=f"all_of[{index}]")
         return combined
 
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event firing with ``(index, value)`` of the first to fire.
+
+        Ties are deterministic: the lowest input index wins.  This is the
+        combinator that lets a step race a watchdog deadline.
+        """
+        events = list(events)
+        if not events:
+            raise ValueError("any_of needs at least one event")
+        combined = self.event()
+
+        def _racer(index: int, source: Event) -> Generator:
+            value = yield source
+            if not combined.fired:
+                combined.succeed((index, value))
+
+        for index, source in enumerate(events):
+            self.process(_racer(index, source), name=f"any_of[{index}]")
+        return combined
+
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the queue drains or the clock passes ``until``.
 
-        Returns the final virtual time.
+        Returns the final virtual time.  Cancelled timers are discarded
+        without advancing the clock.
         """
         while self._queue:
-            when, _, callback = self._queue[0]
+            when, _, timer, callback = self._queue[0]
+            if timer.cancelled:
+                heapq.heappop(self._queue)
+                continue
             if until is not None and when > until:
                 self._now = until
                 return self._now
@@ -170,5 +267,17 @@ class Simulator:
             self._now = until
         return self._now
 
-    def _schedule_resume(self, process: Process, value: Any, delay: float = 0.0) -> None:
-        self.call_in(delay, lambda: process._resume(value))
+    def _schedule_resume(
+        self,
+        process: Process,
+        value: Any,
+        delay: float = 0.0,
+        epoch: Optional[int] = None,
+    ) -> None:
+        wait_epoch = process._epoch if epoch is None else epoch
+
+        def fire() -> None:
+            if process._epoch == wait_epoch and not process.done.fired:
+                process._resume(value)
+
+        self.call_in(delay, fire)

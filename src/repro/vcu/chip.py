@@ -189,6 +189,9 @@ class Vcu:
         self.telemetry = VcuTelemetry(self.vcu_id)
         self.disabled = False
         self.corrupt = False
+        #: A wedged device: in-flight steps never complete on their own.
+        #: Only a watchdog deadline (or a repair) gets the work back.
+        self.hung = False
         self._completed_tasks = 0
 
     def try_admit(self, request: Dict[str, float]) -> bool:
@@ -216,12 +219,19 @@ class Vcu:
 
         The real system relies on core determinism: a known input must
         produce a bit-exact known output.  Here the device-level corrupt
-        flag decides the outcome deterministically.
+        flag decides the outcome deterministically; a hung device fails
+        the battery too (it never returns the reference output).
         """
-        return not self.corrupt
+        return not self.corrupt and not self.hung
 
     def mark_corrupt(self) -> None:
         self.corrupt = True
+
+    def mark_hung(self) -> None:
+        self.hung = True
+
+    def clear_hang(self) -> None:
+        self.hung = False
 
     def disable(self) -> None:
         self.disabled = True
@@ -229,3 +239,4 @@ class Vcu:
     def enable(self) -> None:
         self.disabled = False
         self.corrupt = False
+        self.hung = False

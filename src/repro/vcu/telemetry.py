@@ -19,6 +19,11 @@ class FaultKind(enum.Enum):
     RESET = "reset"
     THERMAL = "thermal"
     PCIE = "pcie"
+    #: A step blew through its watchdog deadline on this device -- the
+    #: firmware-hang signature the resilience subsystem detects.
+    HANG = "hang"
+    #: The device failed a golden re-screen battery while quarantined.
+    GOLDEN_FAIL = "golden_fail"
 
 
 #: Faults of each kind tolerated before the device should be disabled.
@@ -28,6 +33,8 @@ DISABLE_THRESHOLDS: Dict[FaultKind, int] = {
     FaultKind.RESET: 5,
     FaultKind.THERMAL: 10,
     FaultKind.PCIE: 3,
+    FaultKind.HANG: 3,
+    FaultKind.GOLDEN_FAIL: 2,
 }
 
 

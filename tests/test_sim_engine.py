@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulator
-from repro.sim.engine import Event
+from repro.sim.engine import Event, Interrupt
 
 
 def test_clock_starts_at_zero():
@@ -172,3 +172,147 @@ def test_bad_yield_type_rejected():
     sim.process(proc())
     with pytest.raises(TypeError):
         sim.run()
+
+
+# --------------------------------------------------------------------- #
+# Resilience primitives: timer cancellation, interruption, any_of
+
+
+def test_cancelled_timer_never_fires_and_does_not_stretch_the_run():
+    sim = Simulator()
+    fired = []
+    timer = sim.call_in(100.0, lambda: fired.append("late"))
+    sim.call_in(2.0, lambda: fired.append("early"))
+    timer.cancel()
+    end = sim.run()
+    assert fired == ["early"]
+    assert end == 2.0  # the cancelled entry must not advance the clock
+
+
+def test_interrupt_terminates_a_sleeping_process():
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        trace.append("start")
+        yield 50.0
+        trace.append("never")
+
+    proc = sim.process(sleeper())
+    sim.call_in(5.0, lambda: proc.interrupt("deadline"))
+    sim.run()
+    assert trace == ["start"]
+    assert proc.interrupted
+    assert proc.done.fired
+    assert isinstance(proc.done.value, Interrupt)
+    assert proc.done.value.cause == "deadline"
+
+
+def test_interrupt_terminates_a_process_waiting_on_an_event():
+    sim = Simulator()
+    gate = sim.event()
+    woke = []
+
+    def waiter():
+        woke.append((yield gate))
+
+    proc = sim.process(waiter())
+    sim.call_in(1.0, lambda: proc.interrupt())
+    sim.call_in(9.0, lambda: gate.succeed("too late"))
+    sim.run()
+    # The stale wake-up from the gate must not resume the dead process.
+    assert woke == []
+    assert not proc.is_alive
+
+
+def test_interrupt_can_be_caught_and_the_process_continues():
+    sim = Simulator()
+    trace = []
+
+    def resilient():
+        try:
+            yield 50.0
+        except Interrupt as interrupt:
+            trace.append(f"caught:{interrupt.cause}")
+        yield 1.0
+        trace.append(sim.now)
+        return "survived"
+
+    proc = sim.process(resilient())
+    sim.call_in(5.0, lambda: proc.interrupt("poke"))
+    sim.run()
+    assert trace == ["caught:poke", 6.0]
+    assert proc.done.value == "survived"
+
+
+def test_interrupting_a_finished_process_is_a_noop():
+    sim = Simulator()
+
+    def quick():
+        yield 1.0
+        return "done"
+
+    proc = sim.process(quick())
+    sim.run()
+    assert proc.interrupt("late") is False
+    assert proc.done.value == "done"
+
+
+def test_any_of_fires_with_winning_index_and_value():
+    sim = Simulator()
+    slow, fast = sim.timeout(9.0, "slow"), sim.timeout(2.0, "fast")
+    got = []
+
+    def waiter():
+        got.append((yield sim.any_of([slow, fast])))
+
+    sim.process(waiter())
+    sim.run(until=3.0)
+    assert got == [(1, "fast")]
+
+
+def test_any_of_tie_prefers_lowest_index():
+    sim = Simulator()
+    a, b = sim.timeout(4.0, "a"), sim.timeout(4.0, "b")
+    combined = sim.any_of([a, b])
+    sim.run()
+    assert combined.value == (0, "a")
+
+
+def test_any_of_with_already_fired_event():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("ready")
+    combined = sim.any_of([sim.timeout(5.0, "later"), done])
+    sim.run(until=1.0)
+    assert combined.fired
+    assert combined.value == (1, "ready")
+
+
+def test_any_of_rejects_empty_input():
+    with pytest.raises(ValueError):
+        Simulator().any_of([])
+
+
+def test_any_of_can_race_a_process_against_a_deadline():
+    sim = Simulator()
+    outcomes = []
+
+    def work(seconds):
+        yield seconds
+        return "finished"
+
+    def supervise(seconds, deadline):
+        job = sim.process(work(seconds))
+        index, value = yield sim.any_of([job.done, sim.timeout(deadline, "deadline")])
+        if index == 0:
+            outcomes.append(("ok", value))
+        else:
+            job.interrupt("deadline")
+            outcomes.append(("timed_out", value))
+
+    sim.process(supervise(2.0, 10.0))
+    sim.process(supervise(50.0, 10.0))
+    sim.run(until=60.0)
+    assert ("ok", "finished") in outcomes
+    assert ("timed_out", "deadline") in outcomes
