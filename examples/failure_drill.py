@@ -16,10 +16,16 @@ Reproduces Section 4.4's failure story end to end on a small cluster:
    periodic failure sweeper) recovers everything without operator help.
 
 Run:  python examples/failure_drill.py
+      python examples/failure_drill.py --trace drill.jsonl --metrics-out drill.json
+      repro-bench report drill.jsonl
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+
+from repro import obs
 from repro.cluster import (
     CpuWorker,
     HealthPolicy,
@@ -68,7 +74,14 @@ def run_cluster(mitigated: bool):
     return cluster.stats, share
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None,
+                        help="write the chaos drill's JSONL trace here")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the chaos drill's metrics snapshot (JSON) here")
+    args = parser.parse_args(argv)
+
     rows = []
     for mitigated in (False, True):
         stats, share = run_cluster(mitigated)
@@ -111,7 +124,7 @@ def main() -> None:
     print(f"  after repair: fleet capacity {manager.fleet_capacity_fraction():.0%}, "
           f"hosts repaired: {len(queue.repaired)}")
 
-    chaos_drill()
+    chaos_drill(trace_path=args.trace, metrics_out=args.metrics_out)
 
 
 def _small_host(tag: str) -> VcuHost:
@@ -125,7 +138,7 @@ def _small_host(tag: str) -> VcuHost:
     return host
 
 
-def chaos_drill() -> None:
+def chaos_drill(trace_path=None, metrics_out=None) -> None:
     """The unattended drill: no manual sweeps, no manual repairs.
 
     Two 4-VCU hosts.  Mid-run we silently corrupt one device, wedge a
@@ -137,6 +150,21 @@ def chaos_drill() -> None:
     still completes with zero escaped corruption.
     """
     print("\nUnattended chaos drill: watchdog + health machine + sweeper")
+    hub = obs.install()
+    try:
+        _run_chaos()
+    finally:
+        obs.uninstall()
+    if trace_path:
+        hub.trace.write_jsonl(trace_path)
+        print(f"  trace written to {trace_path} ({len(hub.trace.spans)} spans)")
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(hub.metrics.snapshot(now=2500.0), fh, indent=2, sort_keys=True)
+        print(f"  metrics snapshot written to {metrics_out}")
+
+
+def _run_chaos() -> None:
     sim = Simulator()
     hosts = [_small_host("chaos-a"), _small_host("chaos-b")]
     policy = HealthPolicy(

@@ -3,6 +3,7 @@
 The package is organised bottom-up:
 
 * :mod:`repro.sim` -- discrete-event simulation substrate.
+* :mod:`repro.obs` -- observability: metrics registry, trace spans, report.
 * :mod:`repro.video` -- frames, resolutions, synthetic content, vbench.
 * :mod:`repro.codec` -- a functional block-based video codec with the four
   encoder profiles of Figure 7.
@@ -23,51 +24,75 @@ Quick start::
     video = materialize(vbench_video("desktop"), frame_count=8)
     chunk = encode_video(video, LIBVPX, qp=32)
     print(chunk.psnr, chunk.bitrate_bps)
+
+Top-level names resolve **lazily** (PEP 562): importing :mod:`repro`
+pulls in no numpy and no heavy subpackages, so lightweight entry points
+-- ``repro-bench report``, :mod:`repro.obs` -- load in milliseconds.
+The numeric stack is imported only when a name that needs it is first
+touched.
 """
 
-from repro.codec import (
-    ALL_PROFILES,
-    LIBVPX,
-    LIBX264,
-    VCU_H264,
-    VCU_VP9,
-    Encoder,
-    EncoderProfile,
-    encode_video,
-    tuned_profile,
-)
-from repro.metrics import RDPoint, bd_rate, format_table
-from repro.sim import Simulator
-from repro.vcu import DEFAULT_VCU_SPEC, EncodingMode, Vcu, VcuHost, VcuSpec
-from repro.video import RawVideo, Resolution, resolution
-from repro.video.vbench import VBENCH_SUITE, materialize, vbench_video
+from importlib import import_module
+from typing import Any
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "__version__",
-    "Encoder",
-    "EncoderProfile",
-    "encode_video",
-    "tuned_profile",
-    "LIBX264",
-    "LIBVPX",
-    "VCU_H264",
-    "VCU_VP9",
-    "ALL_PROFILES",
-    "RDPoint",
-    "bd_rate",
-    "format_table",
-    "Simulator",
-    "Vcu",
-    "VcuHost",
-    "VcuSpec",
-    "EncodingMode",
-    "DEFAULT_VCU_SPEC",
-    "Resolution",
-    "resolution",
-    "RawVideo",
-    "VBENCH_SUITE",
-    "vbench_video",
-    "materialize",
-]
+#: Which module provides each lazily-exported top-level name.
+_EXPORTS = {
+    # codec
+    "Encoder": "repro.codec",
+    "EncoderProfile": "repro.codec",
+    "encode_video": "repro.codec",
+    "tuned_profile": "repro.codec",
+    "LIBX264": "repro.codec",
+    "LIBVPX": "repro.codec",
+    "VCU_H264": "repro.codec",
+    "VCU_VP9": "repro.codec",
+    "ALL_PROFILES": "repro.codec",
+    # metrics
+    "RDPoint": "repro.metrics",
+    "bd_rate": "repro.metrics",
+    "format_table": "repro.metrics",
+    # sim
+    "Simulator": "repro.sim",
+    # vcu
+    "DEFAULT_VCU_SPEC": "repro.vcu",
+    "EncodingMode": "repro.vcu",
+    "Vcu": "repro.vcu",
+    "VcuHost": "repro.vcu",
+    "VcuSpec": "repro.vcu",
+    # video
+    "RawVideo": "repro.video",
+    "Resolution": "repro.video",
+    "resolution": "repro.video",
+    "VBENCH_SUITE": "repro.video.vbench",
+    "materialize": "repro.video.vbench",
+    "vbench_video": "repro.video.vbench",
+    # observability (numpy-free)
+    "Observability": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "TraceLog": "repro.obs",
+    "TraceSpan": "repro.obs",
+    "UtilizationTracker": "repro.obs",
+}
+
+_SUBPACKAGES = {
+    "balance", "baselines", "cli", "cluster", "codec", "failures", "harness",
+    "metrics", "obs", "sim", "tco", "transcode", "vcu", "video", "workloads",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS), *sorted(_SUBPACKAGES)]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _EXPORTS:
+        value = getattr(import_module(_EXPORTS[name]), name)
+        globals()[name] = value  # cache: resolve each name once
+        return value
+    if name in _SUBPACKAGES:
+        return import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -12,6 +12,10 @@ Commands:
     timeline    Figure 9a/9c deployment-timeline replay
     live        Section 4.5 live-latency comparison
     gaming      Section 4.5 Stadia frame-budget check
+    report      render a fleet report from a JSONL trace dump
+
+Heavy imports happen inside each command handler, so ``report`` (pure
+Python) runs without pulling in the numeric stack.
 """
 
 from __future__ import annotations
@@ -153,6 +157,13 @@ def _cmd_gaming(args: argparse.Namespace) -> None:
               f"{session.frame_budget_ms:.1f} ms budget)")
 
 
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.obs.report import load, render, summarize
+
+    summary = summarize(load(args.trace))
+    print(render(summary, timeline_limit=args.timeline))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -193,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
     gaming.add_argument("--resolution", default="2160p")
     gaming.add_argument("--fps", type=float, default=60.0)
     gaming.set_defaults(func=_cmd_gaming)
+
+    report = sub.add_parser("report", help="render a fleet report from a trace")
+    report.add_argument("trace", help="JSONL trace dump (TraceLog.write_jsonl)")
+    report.add_argument("--timeline", type=int, default=30,
+                        help="max health-timeline rows to show")
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -32,6 +32,7 @@ from typing import Deque, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.health import HealthState
 from repro.cluster.metrics import ThroughputWindow, UtilizationTracker
 from repro.cluster.scheduler import BinPackingScheduler, SingleSlotScheduler
@@ -152,6 +153,15 @@ class TranscodeCluster:
                 ring, affinity_size=min(affinity_size, len(self.vcu_workers))
             )
         self.stats = ClusterStats(throughput=ThroughputWindow(start_time=sim.now))
+        # When an observability hub is installed, bind it to this run's
+        # virtual clock (and the engine's active-process context) so
+        # spans emitted by clockless components -- workers, schedulers,
+        # devices -- still carry correct virtual timestamps.
+        hub = obs.active()
+        if hub is not None:
+            hub.bind_clock(lambda: self.sim.now, lambda: self.sim.active_process_name)
+            hub.metrics.time_gauge("cluster.encoder_util", sim.now)
+            hub.metrics.time_gauge("cluster.decoder_util", sim.now)
         self._rng = make_rng(seed)
         self._pending: Deque[Tuple[Step, Set[str]]] = deque()
         self._graphs: List[StepGraph] = []
@@ -190,6 +200,17 @@ class TranscodeCluster:
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    @staticmethod
+    def _count(name: str, amount: float = 1.0) -> None:
+        """Mirror a ClusterStats increment into the installed registry.
+
+        Reduces to one global load + None check when no hub is
+        installed, keeping the execution hot path unaffected.
+        """
+        hub = obs.active()
+        if hub is not None:
+            hub.count(name, amount)
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -262,12 +283,20 @@ class TranscodeCluster:
             worker = self.cpu_scheduler.place(request)
             if worker is not None:
                 self.stats.software_fallbacks += 1
+                hub = obs.active()
+                if hub is not None:
+                    hub.count("cluster.software_fallbacks")
+                    hub.emit(
+                        "fallback", step.step_id, t0=self.sim.now,
+                        attrs={"worker": worker.name, "attempt": step.attempts + 1},
+                    )
                 self._start_cpu_transcode(step, worker, request)
                 return True
             return False  # wait for software-fallback capacity
         # No hardware path remains and no software fallback exists: a
         # genuine placement failure, not a wait-for-capacity event.
         self.stats.failed_placements += 1
+        self._count("cluster.failed_placements")
         return False
 
     def _place_cpu(self, step: Step) -> bool:
@@ -281,11 +310,13 @@ class TranscodeCluster:
         if worker is None:
             return False
         duration = worker.cpu_step_seconds(step.cpu_core_seconds, request)
+        started = self.sim.now
 
         def run():
             yield duration
             worker.release(request)
             self._release_slot_if_legacy(worker)
+            self._emit_step(step, worker.name, "cpu", started, "ok")
             self._complete(step, corrupt=False)
             self._drain_pending()
 
@@ -301,6 +332,7 @@ class TranscodeCluster:
         step.attempts += 1
         step.processed_by = worker.vcu.vcu_id
         duration = worker.step_seconds(step.vcu_task, request)
+        started = self.sim.now
         self._record_utilization()
 
         def execute() -> Generator:
@@ -328,18 +360,39 @@ class TranscodeCluster:
             if index == 0:
                 if timer is not None:
                     timer.cancel()
-                self._finish_vcu_step(step, worker, excluded)
+                self._finish_vcu_step(step, worker, excluded, started)
             else:
                 # Watchdog deadline won the race: kill the worker process
                 # (one process per transcode constrains the damage) and
                 # recover the step.
                 work.interrupt("watchdog deadline")
-                self._on_watchdog_expired(step, worker, excluded)
+                self._on_watchdog_expired(step, worker, excluded, started)
             self._drain_pending()
 
         self.sim.process(run(), name=f"vcu:{step.step_id}")
 
-    def _finish_vcu_step(self, step: Step, worker: VcuWorker, excluded: Set[str]) -> None:
+    def _emit_step(
+        self, step: Step, worker_name: str, pool: str, started: float, outcome: str
+    ) -> None:
+        """One ``step`` span per execution attempt, plus the step-seconds
+        histogram -- the per-pool busy time the report renders."""
+        hub = obs.active()
+        if hub is None:
+            return
+        now = self.sim.now
+        hub.emit(
+            "step", step.step_id, t0=started, t1=now,
+            attrs={
+                "worker": worker_name, "pool": pool,
+                "attempt": step.attempts, "outcome": outcome,
+                "video": step.video_id,
+            },
+        )
+        hub.observe(f"cluster.step_seconds.{pool}", now - started)
+
+    def _finish_vcu_step(
+        self, step: Step, worker: VcuWorker, excluded: Set[str], started: float
+    ) -> None:
         if worker.vcu.corrupt:
             caught = self._rng.random() < self.integrity_check_rate
             if caught:
@@ -347,6 +400,8 @@ class TranscodeCluster:
                 # (Section 4.4's black-holing mitigation).  The abort is a
                 # device reset, so it lands in telemetry too.
                 self.stats.corrupt_caught += 1
+                self._count("cluster.corrupt_caught")
+                self._emit_step(step, worker.name, "vcu", started, "corrupt_caught")
                 worker.vcu.telemetry.record(FaultKind.RESET, at_time=self.sim.now)
                 if worker.abort_and_quarantine():
                     self._note_quarantine(worker)
@@ -355,12 +410,25 @@ class TranscodeCluster:
                 return
             step.corrupt_output = True
             self.stats.corrupt_escaped += 1
+            self._count("cluster.corrupt_escaped")
+        self._emit_step(
+            step, worker.name, "vcu", started,
+            "corrupt_escaped" if step.corrupt_output else "ok",
+        )
         self._complete(step, corrupt=step.corrupt_output)
 
     def _on_watchdog_expired(
-        self, step: Step, worker: VcuWorker, excluded: Set[str]
+        self, step: Step, worker: VcuWorker, excluded: Set[str], started: float
     ) -> None:
         self.stats.hangs_detected += 1
+        hub = obs.active()
+        if hub is not None:
+            hub.count("cluster.hangs_detected")
+            hub.emit(
+                "hang", step.step_id, t0=self.sim.now,
+                attrs={"worker": worker.name, "attempt": step.attempts},
+            )
+        self._emit_step(step, worker.name, "vcu", started, "hang")
         worker.vcu.telemetry.record(FaultKind.HANG, at_time=self.sim.now)
         if worker.record_strike():
             self._note_quarantine(worker)
@@ -369,11 +437,21 @@ class TranscodeCluster:
 
     def _retry_with_backoff(self, step: Step, excluded: Set[str]) -> None:
         self.stats.retries += 1
+        delay = 0.0
+        if self.backoff is not None:
+            delay = self.backoff.delay_for(step.attempts, self._rng)
+            self.stats.backoff_delay_seconds += delay
+        hub = obs.active()
+        if hub is not None:
+            hub.count("cluster.retries")
+            hub.observe("cluster.backoff_seconds", delay)
+            hub.emit(
+                "retry", step.step_id, t0=self.sim.now,
+                attrs={"attempt": step.attempts, "delay": delay},
+            )
         if self.backoff is None:
             self._enqueue(step, excluded)
             return
-        delay = self.backoff.delay_for(step.attempts, self._rng)
-        self.stats.backoff_delay_seconds += delay
         self.sim.call_in(delay, lambda: self._enqueue(step, excluded))
 
     def _start_cpu_transcode(
@@ -382,10 +460,12 @@ class TranscodeCluster:
         step.attempts += 1
         step.processed_by = worker.name
         duration = worker.transcode_seconds(step.vcu_task, request)
+        started = self.sim.now
 
         def run():
             yield duration
             worker.release(request)
+            self._emit_step(step, worker.name, "sw", started, "ok")
             self._complete(step, corrupt=False)
             self._drain_pending()
 
@@ -401,6 +481,7 @@ class TranscodeCluster:
 
     def _note_quarantine(self, worker: VcuWorker) -> None:
         self.stats.workers_quarantined += 1
+        self._count("cluster.workers_quarantined")
         self._spawn_rehab(worker)
 
     def _spawn_rehab(self, worker: VcuWorker) -> None:
@@ -434,6 +515,7 @@ class TranscodeCluster:
                         continue
                     if worker.finish_rescreen():
                         self.stats.workers_rehabilitated += 1
+                        self._count("cluster.workers_rehabilitated")
                         self._drain_pending()
                         return
                     worker.vcu.telemetry.record(
@@ -441,6 +523,7 @@ class TranscodeCluster:
                     )
                     if worker.health is HealthState.DISABLED:
                         self.stats.workers_disabled += 1
+                        self._count("cluster.workers_disabled")
                         return
                     delay *= policy.rescreen_backoff
             finally:
@@ -464,6 +547,10 @@ class TranscodeCluster:
             return
         host.unusable = True
         self.stats.host_evictions += 1
+        hub = obs.active()
+        if hub is not None:
+            hub.count("cluster.host_evictions")
+            hub.emit("host", "evict", t0=self.sim.now, attrs={"host": host.host_id})
 
     def on_host_repaired(self, host: VcuHost) -> None:
         """A repair finished: golden re-screen every worker it touched."""
@@ -480,6 +567,7 @@ class TranscodeCluster:
             raise RuntimeError(f"step {step.step_id} completed twice")
         self._done.add(id(step))
         self.stats.completed_steps += 1
+        self._count("cluster.completed_steps")
         if step.is_transcode() and not corrupt:
             megapixels = step.vcu_task.output_pixels / 1e6
             self.stats.throughput.record(self.sim.now, megapixels)
@@ -500,7 +588,17 @@ class TranscodeCluster:
         if self._graph_remaining[id(graph)] == 0 and graph.completed_at is None:
             graph.completed_at = self.sim.now
             self.stats.completed_graphs += 1
-            self.stats.graph_latencies.append(graph.completed_at - graph.submitted_at)
+            latency = graph.completed_at - graph.submitted_at
+            self.stats.graph_latencies.append(latency)
+            hub = obs.active()
+            if hub is not None:
+                hub.count("cluster.completed_graphs")
+                hub.observe("cluster.graph_latency_seconds", latency)
+                hub.emit(
+                    "graph", graph.video_id,
+                    t0=graph.submitted_at, t1=graph.completed_at,
+                    attrs={"steps": len(graph.steps)},
+                )
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -513,6 +611,11 @@ class TranscodeCluster:
         decoder = float(np.mean([w.vcu.decoder_utilization() for w in workers]))
         self.encoder_util.record(self.sim.now, encoder)
         self.decoder_util.record(self.sim.now, decoder)
+        hub = obs.active()
+        if hub is not None:
+            now = self.sim.now
+            hub.metrics.time_gauge("cluster.encoder_util").set(now, encoder)
+            hub.metrics.time_gauge("cluster.decoder_util").set(now, decoder)
 
     def healthy_vcu_count(self) -> int:
         return sum(1 for w in self.vcu_workers if w.available())

@@ -1,42 +1,18 @@
-"""Time-weighted utilization and throughput accounting for the cluster."""
+"""Throughput accounting for the cluster.
+
+:class:`UtilizationTracker` moved under the observability layer
+(:mod:`repro.obs.registry`) where the rest of the time-weighted
+instruments live; it is re-exported here for compatibility.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.obs.registry import UtilizationTracker
 
-class UtilizationTracker:
-    """Integrates a usage fraction over virtual time.
-
-    Call :meth:`record` whenever usage changes; :meth:`average` returns
-    the time-weighted mean over the observed span.
-    """
-
-    def __init__(self, start_time: float = 0.0):
-        self._last_time = start_time
-        self._last_value = 0.0
-        self._area = 0.0
-        self._start = start_time
-
-    def record(self, now: float, value: float) -> None:
-        if now < self._last_time:
-            raise ValueError("time moved backwards")
-        self._area += self._last_value * (now - self._last_time)
-        self._last_time = now
-        self._last_value = value
-
-    def average(self, now: float = None) -> float:
-        end = self._last_time if now is None else now
-        if end < self._last_time:
-            raise ValueError("time moved backwards")
-        area = self._area + self._last_value * (end - self._last_time)
-        span = end - self._start
-        return area / span if span > 0 else 0.0
-
-    @property
-    def current(self) -> float:
-        return self._last_value
+__all__ = ["UtilizationTracker", "ThroughputWindow"]
 
 
 @dataclass

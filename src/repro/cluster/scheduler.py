@@ -15,6 +15,35 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Protocol, Sequence, Set
 
+from repro import obs
+
+
+def _emit_placement(
+    scheduler: str,
+    worker: Optional[PlaceableWorker],
+    excluded: Set[str],
+    preference: Optional[Sequence[str]],
+) -> None:
+    """One ``sched`` span per placement decision (accept or reject).
+
+    The scheduler has no clock of its own; the span timestamp comes from
+    the hub's bound virtual clock (see ``Observability.bind_clock``).
+    Costs a global load + None check when no hub is installed.
+    """
+    hub = obs.active()
+    if hub is None:
+        return
+    accepted = worker is not None
+    hub.count("sched.placements" if accepted else "sched.rejections")
+    hub.emit(
+        "sched", scheduler,
+        attrs={
+            "worker": worker.name if accepted else None,
+            "excluded": len(excluded),
+            "preferred": bool(preference),
+        },
+    )
+
 
 class PlaceableWorker(Protocol):  # pragma: no cover - structural typing
     name: str
@@ -84,8 +113,10 @@ class BinPackingScheduler:
                 continue
             if worker.try_admit(request):
                 self.placements += 1
+                _emit_placement("bin_packing", worker, excluded, preference)
                 return worker
         self.rejections += 1
+        _emit_placement("bin_packing", None, excluded, preference)
         return None
 
 
@@ -128,8 +159,10 @@ class SingleSlotScheduler:
             if worker.try_admit(request):
                 self._slots[worker.name] -= 1
                 self.placements += 1
+                _emit_placement("single_slot", worker, excluded, preference)
                 return worker
         self.rejections += 1
+        _emit_placement("single_slot", None, excluded, preference)
         return None
 
     def release_slot(self, worker: PlaceableWorker) -> None:

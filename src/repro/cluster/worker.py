@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional, TYPE_CHECKING
 
+from repro import obs
 from repro.baselines.cpu import SkylakeSystem
 from repro.cluster.health import HealthPolicy, HealthState
 from repro.sim.resources import MultiResource
@@ -87,10 +88,29 @@ class VcuWorker(Worker):
         if golden_screening:
             self._screen()
 
+    def _set_health(self, new: HealthState) -> None:
+        """The single choke point for health transitions.
+
+        Every state change flows through here so the observability layer
+        sees **exactly one** ``health`` span per transition -- the
+        invariant the resilience/observability seam tests assert.
+        """
+        old = self.health
+        if new is old:
+            return
+        self.health = new
+        hub = obs.active()
+        if hub is not None:
+            hub.count("worker.health_transitions")
+            hub.emit(
+                "health", self.name,
+                attrs={"from": old.value, "to": new.value, "vcu": self.vcu.vcu_id},
+            )
+
     def _screen(self) -> None:
         """Functional reset + golden transcode battery before taking work."""
         if not self.vcu.golden_check():
-            self.health = HealthState.QUARANTINED
+            self._set_health(HealthState.QUARANTINED)
 
     #: States in which the worker still accepts work.  SUSPECT serves on
     #: purpose: one watchdog strike is a warning, not a conviction, and a
@@ -150,7 +170,7 @@ class VcuWorker(Worker):
         Returns True when this call performed the quarantine (False when
         the worker was already out of service)."""
         if self.health in (HealthState.HEALTHY, HealthState.SUSPECT):
-            self.health = HealthState.QUARANTINED
+            self._set_health(HealthState.QUARANTINED)
             return True
         return False
 
@@ -165,9 +185,9 @@ class VcuWorker(Worker):
             return False
         self.strikes += 1
         if self.strikes >= self.health_policy.strike_budget:
-            self.health = HealthState.QUARANTINED
+            self._set_health(HealthState.QUARANTINED)
             return True
-        self.health = HealthState.SUSPECT
+        self._set_health(HealthState.SUSPECT)
         return False
 
     def begin_rescreen(self) -> None:
@@ -175,7 +195,7 @@ class VcuWorker(Worker):
             raise RuntimeError(
                 f"cannot rescreen {self.name} from state {self.health.value}"
             )
-        self.health = HealthState.RESCREENING
+        self._set_health(HealthState.RESCREENING)
 
     def finish_rescreen(self) -> bool:
         """Complete the golden battery: True restores HEALTHY.
@@ -190,16 +210,16 @@ class VcuWorker(Worker):
                 f"cannot finish rescreen of {self.name} in state {self.health.value}"
             )
         if not self.vcu.disabled and self.vcu.golden_check():
-            self.health = HealthState.HEALTHY
+            self._set_health(HealthState.HEALTHY)
             self.strikes = 0
             self.rescreen_failures = 0
             return True
         self.rescreen_failures += 1
         if self.rescreen_failures >= self.health_policy.max_rescreen_failures:
-            self.health = HealthState.DISABLED
+            self._set_health(HealthState.DISABLED)
             self.vcu.disable()
         else:
-            self.health = HealthState.QUARANTINED
+            self._set_health(HealthState.QUARANTINED)
         return False
 
     def reset_after_repair(self) -> bool:
@@ -211,7 +231,7 @@ class VcuWorker(Worker):
         """
         if self.health is HealthState.HEALTHY:
             return False
-        self.health = HealthState.QUARANTINED
+        self._set_health(HealthState.QUARANTINED)
         self.strikes = 0
         self.rescreen_failures = 0
         return True

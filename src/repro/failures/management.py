@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Generator, List, Optional, Sequence, TYPE_CHECKING
 
+from repro import obs
 from repro.sim.engine import Process, Simulator
 from repro.vcu.host import VcuHost
 from repro.vcu.telemetry import FaultKind
@@ -157,8 +158,15 @@ class FailureSweeper:
     def _run(self, until: float) -> Generator:
         while self.sim.now + self.interval_seconds <= until:
             yield self.interval_seconds
-            self.manager.sweep()
+            newly_disabled = self.manager.sweep()
             self.sweeps += 1
+            hub = obs.active()
+            if hub is not None:
+                hub.count("fleet.sweeps")
+                hub.emit(
+                    "sweep", "telemetry", t0=self.sim.now,
+                    attrs={"disabled": sorted(newly_disabled)},
+                )
             for host in self.manager.repair_queue.start_repairs():
                 self.repairs_started += 1
                 self.sim.process(self._repair(host), name=f"repair:{host.host_id}")
@@ -166,9 +174,17 @@ class FailureSweeper:
     def _repair(self, host: VcuHost) -> Generator:
         # Drained while the technician works on it.
         host.unusable = True
+        started = self.sim.now
         yield self.repair_seconds
         self.manager.repair_queue.finish_repair(host)
         self.repairs_completed += 1
+        hub = obs.active()
+        if hub is not None:
+            hub.count("fleet.repairs_completed")
+            hub.emit(
+                "repair", host.host_id, t0=started, t1=self.sim.now,
+                attrs={"host": host.host_id},
+            )
         if self.cluster is not None:
             self.cluster.on_host_repaired(host)
 

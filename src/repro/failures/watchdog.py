@@ -24,6 +24,8 @@ from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class WatchdogPolicy:
@@ -104,9 +106,19 @@ class FaultDomainTracker:
         cutoff = now - self.policy.window_seconds
         window[:] = [(t, v) for t, v in window if t >= cutoff]
         distinct: Set[str] = {v for _, v in window}
+        hub = obs.active()
+        if hub is not None:
+            hub.count("fault_domain.faults")
+            hub.emit(
+                "domain", "fault", t0=now,
+                attrs={"host": host_id, "vcu": vcu_id, "in_window": len(distinct)},
+            )
         if len(distinct) >= self.policy.distinct_vcu_threshold:
             if host_id not in self.evicted_hosts:
                 self.evicted_hosts.append(host_id)
             window.clear()
+            if hub is not None:
+                hub.count("fault_domain.evictions")
+                hub.emit("domain", "evict", t0=now, attrs={"host": host_id})
             return True
         return False

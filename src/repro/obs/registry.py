@@ -1,0 +1,243 @@
+"""The unified metrics registry: counters, gauges, histograms.
+
+Every instrument is pure Python (no numpy) so the registry can be
+imported by the CLI's ``report`` path without dragging in the numeric
+stack.  Three instrument families cover the fleet's needs:
+
+* :class:`Counter` -- monotone event counts (retries, hangs, fallbacks).
+* :class:`Gauge` -- last-value-wins samples (healthy workers right now).
+* :class:`Histogram` -- fixed-bucket distributions (step seconds, backoff
+  delays).  Buckets are upper bounds with an implicit +inf overflow
+  bucket, so two histograms with the same bounds merge exactly.
+* :class:`TimeWeightedGauge` -- a gauge integrated over *virtual* time via
+  :class:`UtilizationTracker` (which lives here now; the cluster's
+  utilization accounting builds on the same primitive).
+
+A :class:`MetricsRegistry` is a flat namespace of instruments keyed by
+dotted name.  ``snapshot()`` renders everything into one flat dict -- the
+exchange format the benchmark jobs archive (``BENCH_PR2.json``) and the
+reconciliation tests diff against :class:`~repro.cluster.cluster.ClusterStats`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeWeightedGauge",
+    "UtilizationTracker",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+#: Default duration buckets (seconds): sub-second dispatch latencies up to
+#: multi-minute repair windows, with an implicit +inf overflow bucket.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0,
+)
+
+
+class UtilizationTracker:
+    """Integrates a usage fraction over virtual time.
+
+    Call :meth:`record` whenever usage changes; :meth:`average` returns
+    the time-weighted mean over the observed span.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._last_time = start_time
+        self._last_value = 0.0
+        self._area = 0.0
+        self._start = start_time
+
+    def record(self, now: float, value: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time moved backwards")
+        self._area += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = value
+
+    def average(self, now: Optional[float] = None) -> float:
+        end = self._last_time if now is None else now
+        if end < self._last_time:
+            raise ValueError("time moved backwards")
+        area = self._area + self._last_value * (end - self._last_time)
+        span = end - self._start
+        return area / span if span > 0 else 0.0
+
+    @property
+    def current(self) -> float:
+        return self._last_value
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins sample."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket histogram: upper bounds plus an implicit +inf bucket.
+
+    ``counts[i]`` is the number of observations with
+    ``value <= bounds[i]`` (and greater than the previous bound);
+    ``counts[-1]`` is the overflow.  Fixed bounds make merging exact:
+    histograms recorded by different components of one run -- or by two
+    runs -- combine by bucketwise addition, which is associative and
+    commutative (the property tests lock this down).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bucket (a monotone CDF in counts)."""
+        out: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Bucketwise sum; both histograms must share bounds."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        merged = Histogram(self.name, self.bounds)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.total = self.total + other.total
+        merged.sum = self.sum + other.sum
+        return merged
+
+
+class TimeWeightedGauge:
+    """A gauge whose average is weighted by virtual time between sets."""
+
+    __slots__ = ("name", "_tracker")
+
+    def __init__(self, name: str, start_time: float = 0.0):
+        self.name = name
+        self._tracker = UtilizationTracker(start_time)
+
+    def set(self, now: float, value: float) -> None:
+        self._tracker.record(now, float(value))
+
+    def average(self, now: Optional[float] = None) -> float:
+        return self._tracker.average(now)
+
+    @property
+    def current(self) -> float:
+        return self._tracker.current
+
+
+class MetricsRegistry:
+    """A flat, typed namespace of instruments, keyed by dotted name.
+
+    ``counter``/``gauge``/``histogram``/``time_gauge`` get-or-create; a
+    name registered as one instrument type cannot be re-registered as
+    another (that is always a wiring bug, so it raises).
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, *args) -> object:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ValueError(
+                f"{name!r} is already a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, bounds)
+
+    def time_gauge(self, name: str, start_time: float = 0.0) -> TimeWeightedGauge:
+        return self._get_or_create(name, TimeWeightedGauge, start_time)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Every instrument flattened into one deterministic dict.
+
+        Counters/gauges export their value under their own name;
+        histograms export ``name.count``, ``name.sum``, and one
+        ``name.le.<bound>`` cumulative entry per bucket; time-weighted
+        gauges export ``name.avg`` (up to ``now`` when given) and
+        ``name.current``.  Keys come out sorted so two same-seed runs
+        serialize byte-identically.
+        """
+        flat: Dict[str, float] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, (Counter, Gauge)):
+                flat[name] = round(float(instrument.value), 9)
+            elif isinstance(instrument, Histogram):
+                flat[f"{name}.count"] = float(instrument.total)
+                flat[f"{name}.sum"] = round(instrument.sum, 9)
+                cumulative = instrument.cumulative()
+                for bound, running in zip(instrument.bounds, cumulative):
+                    flat[f"{name}.le.{bound:g}"] = float(running)
+                flat[f"{name}.le.inf"] = float(cumulative[-1])
+            elif isinstance(instrument, TimeWeightedGauge):
+                flat[f"{name}.avg"] = round(instrument.average(now), 9)
+                flat[f"{name}.current"] = round(instrument.current, 9)
+        return dict(sorted(flat.items()))

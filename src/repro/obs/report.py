@@ -1,0 +1,177 @@
+"""Render a human report from a saved JSONL trace.
+
+``repro-bench report run_trace.jsonl`` turns the raw span log back into
+the operator's view of a run: per-pool utilization, retry/hang/fallback
+counts, corruption outcomes, and the health-transition timeline -- the
+same quantities Figures 8-10 plot longitudinally for the real fleet.
+
+Everything here is numpy-free and imports in a few milliseconds, so the
+CLI stays light when all you want is to look at a trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.obs.trace import TraceLog, TraceSpan
+
+__all__ = ["TraceSummary", "summarize", "render", "load", "report_text"]
+
+
+@dataclass
+class PoolUsage:
+    """Busy-time accounting for one worker pool (vcu / cpu / sw)."""
+
+    busy_seconds: float = 0.0
+    steps: int = 0
+    workers: Dict[str, float] = field(default_factory=dict)
+
+    def utilization(self, horizon: float) -> float:
+        denominator = horizon * max(1, len(self.workers))
+        return self.busy_seconds / denominator if denominator > 0 else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything the report renders, reconcilable against ClusterStats."""
+
+    spans: int = 0
+    horizon: float = 0.0
+    kinds: Dict[str, int] = field(default_factory=dict)
+    pools: Dict[str, PoolUsage] = field(default_factory=dict)
+    step_outcomes: Dict[str, int] = field(default_factory=dict)
+    hangs: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    corrupt_caught: int = 0
+    corrupt_escaped: int = 0
+    backoff_seconds: float = 0.0
+    graphs_completed: int = 0
+    graph_latencies: List[float] = field(default_factory=list)
+    health_timeline: List[Tuple[float, str, str, str]] = field(default_factory=list)
+    host_events: List[Tuple[float, str, str]] = field(default_factory=list)
+    sweeps: int = 0
+    repairs: int = 0
+    fw_dispatches: int = 0
+
+
+SpanLike = Union[TraceSpan, dict]
+
+
+def _as_span(span: SpanLike) -> TraceSpan:
+    return span if isinstance(span, TraceSpan) else TraceSpan.from_dict(span)
+
+
+def load(path: str) -> List[TraceSpan]:
+    """Load a JSONL trace dump back into spans."""
+    return TraceLog.read_jsonl(path)
+
+
+def summarize(spans: Sequence[SpanLike]) -> TraceSummary:
+    summary = TraceSummary()
+    kinds: TallyCounter = TallyCounter()
+    for raw in spans:
+        span = _as_span(raw)
+        summary.spans += 1
+        summary.horizon = max(summary.horizon, span.t1)
+        kinds[span.kind] += 1
+        attrs = span.attrs
+        if span.kind == "step":
+            pool = str(attrs.get("pool", "?"))
+            usage = summary.pools.setdefault(pool, PoolUsage())
+            usage.busy_seconds += span.duration
+            usage.steps += 1
+            worker = str(attrs.get("worker", "?"))
+            usage.workers[worker] = usage.workers.get(worker, 0.0) + span.duration
+            outcome = str(attrs.get("outcome", "ok"))
+            summary.step_outcomes[outcome] = summary.step_outcomes.get(outcome, 0) + 1
+            if outcome == "corrupt_caught":
+                summary.corrupt_caught += 1
+            elif outcome == "corrupt_escaped":
+                summary.corrupt_escaped += 1
+        elif span.kind == "hang":
+            summary.hangs += 1
+        elif span.kind == "retry":
+            summary.retries += 1
+            summary.backoff_seconds += float(attrs.get("delay", 0.0))
+        elif span.kind == "fallback":
+            summary.fallbacks += 1
+        elif span.kind == "health":
+            summary.health_timeline.append(
+                (span.t0, span.name, str(attrs.get("from", "?")),
+                 str(attrs.get("to", "?")))
+            )
+        elif span.kind == "host":
+            summary.host_events.append((span.t0, span.name, str(attrs.get("host", "?"))))
+        elif span.kind == "graph":
+            summary.graphs_completed += 1
+            summary.graph_latencies.append(span.duration)
+        elif span.kind == "sweep":
+            summary.sweeps += 1
+        elif span.kind == "repair":
+            summary.repairs += 1
+        elif span.kind == "fw":
+            summary.fw_dispatches += 1
+    summary.kinds = dict(sorted(kinds.items()))
+    return summary
+
+
+def render(summary: TraceSummary, timeline_limit: int = 30) -> str:
+    """The operator-facing text report."""
+    lines: List[str] = []
+    out = lines.append
+    out(f"Trace report: {summary.spans} spans over "
+        f"{summary.horizon:.1f}s of virtual time")
+    out("")
+    out("Span counts by kind:")
+    for kind, count in summary.kinds.items():
+        out(f"  {kind:<10s} {count}")
+    out("")
+    out("Per-pool utilization (busy-seconds / horizon x workers):")
+    if not summary.pools:
+        out("  (no step spans)")
+    for pool in sorted(summary.pools):
+        usage = summary.pools[pool]
+        out(f"  {pool:<4s} {usage.steps:5d} steps, "
+            f"{usage.busy_seconds:9.1f}s busy on {len(usage.workers)} workers "
+            f"-> {usage.utilization(summary.horizon):6.1%}")
+        for worker in sorted(usage.workers):
+            out(f"       {worker:<24s} {usage.workers[worker]:9.1f}s")
+    out("")
+    out("Resilience counters:")
+    out(f"  hangs detected      {summary.hangs}")
+    out(f"  retries             {summary.retries} "
+        f"(total backoff {summary.backoff_seconds:.1f}s)")
+    out(f"  software fallbacks  {summary.fallbacks}")
+    out(f"  corruption caught   {summary.corrupt_caught}, "
+        f"escaped {summary.corrupt_escaped}")
+    out(f"  sweeps {summary.sweeps}, repairs {summary.repairs}, "
+        f"firmware dispatches {summary.fw_dispatches}")
+    if summary.graphs_completed:
+        latencies = sorted(summary.graph_latencies)
+        p50 = latencies[len(latencies) // 2]
+        out(f"  graphs completed    {summary.graphs_completed} "
+            f"(p50 latency {p50:.1f}s, max {latencies[-1]:.1f}s)")
+    out("")
+    out("Health-transition timeline:")
+    if not summary.health_timeline:
+        out("  (no transitions)")
+    shown = summary.health_timeline[:timeline_limit]
+    for when, worker, old, new in shown:
+        out(f"  t={when:9.1f}  {worker:<24s} {old} -> {new}")
+    hidden = len(summary.health_timeline) - len(shown)
+    if hidden > 0:
+        out(f"  ... {hidden} more transitions")
+    if summary.host_events:
+        out("")
+        out("Host events:")
+        for when, name, host in summary.host_events[:timeline_limit]:
+            out(f"  t={when:9.1f}  {host:<12s} {name}")
+    return "\n".join(lines) + "\n"
+
+
+def report_text(path: str, timeline_limit: int = 30) -> str:
+    """Load + summarize + render in one call (what the CLI uses)."""
+    return render(summarize(load(path)), timeline_limit=timeline_limit)

@@ -142,6 +142,17 @@ class Process:
         self._advance(lambda: self._generator.send(value))
 
     def _advance(self, step: Callable[[], Any]) -> None:
+        # Span context for the observability layer: while the generator
+        # runs, this process is the simulator's active process, so trace
+        # spans emitted from inside it can name their causal process.
+        previous = self.sim.active_process
+        self.sim.active_process = self
+        try:
+            self._advance_inner(step)
+        finally:
+            self.sim.active_process = previous
+
+    def _advance_inner(self, step: Callable[[], Any]) -> None:
         try:
             yielded = step()
         except StopIteration as stop:
@@ -173,11 +184,20 @@ class Simulator:
         self._now = 0.0
         self._queue: List[Tuple[float, int, Timer, Callable[[], None]]] = []
         self._sequence = itertools.count()
+        #: The process whose generator is currently advancing, if any --
+        #: the span context the observability layer stamps onto trace
+        #: events emitted from inside simulation processes.
+        self.active_process: Optional[Process] = None
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def active_process_name(self) -> Optional[str]:
+        process = self.active_process
+        return process.name if process is not None else None
 
     def event(self) -> Event:
         return Event(self)

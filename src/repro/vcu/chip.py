@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.sim.resources import MultiResource
 from repro.vcu.spec import (
     SHARED_ANALYSIS_FRACTION,
@@ -224,19 +225,31 @@ class Vcu:
         """
         return not self.corrupt and not self.hung
 
+    def _device_event(self, name: str) -> None:
+        """Trace raw device-state flips (injected faults, disables)."""
+        hub = obs.active()
+        if hub is not None:
+            hub.count(f"device.{name}")
+            hub.emit("device", name, attrs={"vcu": self.vcu_id})
+
     def mark_corrupt(self) -> None:
         self.corrupt = True
+        self._device_event("mark_corrupt")
 
     def mark_hung(self) -> None:
         self.hung = True
+        self._device_event("mark_hung")
 
     def clear_hang(self) -> None:
         self.hung = False
+        self._device_event("clear_hang")
 
     def disable(self) -> None:
         self.disabled = True
+        self._device_event("disable")
 
     def enable(self) -> None:
         self.disabled = False
         self.corrupt = False
         self.hung = False
+        self._device_event("enable")

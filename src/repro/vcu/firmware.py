@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
+from repro import obs
 from repro.sim.engine import Event, Simulator
 
 
@@ -155,6 +156,18 @@ class VcuFirmware:
                 core = self._idle[core_class].pop(0)
                 command.executed_on = core
                 self.dispatched.append(command)
+                hub = obs.active()
+                if hub is not None:
+                    hub.count("fw.dispatched")
+                    hub.emit(
+                        "fw", command.kind.value,
+                        t0=self.sim.now, t1=self.sim.now + command.seconds,
+                        attrs={
+                            "queue": queue.name,
+                            "core_class": core_class,
+                            "core": core,
+                        },
+                    )
                 self._start(command, core_class, core)
                 # Advance the round-robin pointer past the served queue.
                 self._rr_next = (self._rr_next + offset + 1) % len(self._queues)

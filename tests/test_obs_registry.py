@@ -1,0 +1,176 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms.
+
+Also locks down :class:`UtilizationTracker`'s new home in ``repro.obs``
+(the cluster's ``metrics`` module re-exports it) and the monotonic-time
+contract of ``record``/``average`` -- both directions of the clock check.
+"""
+
+import typing
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeWeightedGauge,
+    UtilizationTracker,
+)
+
+
+class TestCounter:
+    def test_increments_default_one(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper_bounds(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0):
+            hist.observe(value)
+        # <=1: {0.5, 1.0}; <=2: {1.5, 2.0}; <=4: {3.0, 4.0}; inf: {100.0}
+        assert hist.counts == [2, 2, 2, 1]
+        assert hist.total == 7
+        assert hist.sum == pytest.approx(112.0)
+
+    def test_cumulative_is_monotone_and_ends_at_total(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.2, 5.0, 50.0, 0.9):
+            hist.observe(value)
+        cumulative = hist.cumulative()
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == hist.total == 4
+
+    def test_merge_is_bucketwise_addition(self):
+        a = Histogram("h", bounds=(1.0, 2.0))
+        b = Histogram("h", bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        merged = a.merge(b)
+        assert merged.counts == [1, 1, 1]
+        assert merged.total == 3
+        assert merged.sum == pytest.approx(11.0)
+        # Merge does not mutate its inputs.
+        assert a.total == 1 and b.total == 2
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0,)).merge(Histogram("h", bounds=(2.0,)))
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+
+class TestUtilizationTracker:
+    def test_lives_in_obs_and_is_reexported_by_cluster_metrics(self):
+        from repro.cluster.metrics import UtilizationTracker as reexported
+
+        assert reexported is UtilizationTracker
+
+    def test_time_weighted_average(self):
+        tracker = UtilizationTracker()
+        tracker.record(0.0, 1.0)
+        tracker.record(10.0, 0.0)
+        assert tracker.average(20.0) == pytest.approx(0.5)
+
+    def test_average_accepts_none_and_uses_last_sample_time(self):
+        tracker = UtilizationTracker()
+        tracker.record(0.0, 0.5)
+        tracker.record(10.0, 1.0)
+        assert tracker.average() == pytest.approx(0.5)
+        assert tracker.average(None) == tracker.average()
+
+    def test_average_annotation_is_optional_float(self):
+        hints = typing.get_type_hints(UtilizationTracker.average)
+        assert hints["now"] == typing.Optional[float]
+        assert hints["return"] is float
+
+    def test_record_rejects_time_going_backwards(self):
+        tracker = UtilizationTracker()
+        tracker.record(10.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.record(5.0, 0.5)
+
+    def test_average_rejects_time_going_backwards(self):
+        tracker = UtilizationTracker()
+        tracker.record(10.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.average(5.0)
+
+    def test_empty_span_averages_to_zero(self):
+        assert UtilizationTracker().average() == 0.0
+        assert UtilizationTracker(start_time=5.0).average(5.0) == 0.0
+
+
+class TestTimeWeightedGauge:
+    def test_wraps_the_tracker(self):
+        gauge = TimeWeightedGauge("tg")
+        gauge.set(0.0, 4.0)
+        gauge.set(10.0, 0.0)
+        assert gauge.average(10.0) == pytest.approx(4.0)
+        assert gauge.current == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert "a" in registry and "missing" not in registry
+        assert registry.names() == ["a", "h"]
+
+    def test_name_cannot_change_instrument_type(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_flattens_every_instrument_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(3)
+        registry.gauge("level").set(0.25)
+        hist = registry.histogram("lat", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        tg = registry.time_gauge("util")
+        tg.set(0.0, 1.0)
+        tg.set(10.0, 0.0)
+        snap = registry.snapshot(now=10.0)
+        assert snap["events"] == 3.0
+        assert snap["level"] == 0.25
+        assert snap["lat.count"] == 2.0
+        assert snap["lat.sum"] == 5.5
+        assert snap["lat.le.1"] == 1.0
+        assert snap["lat.le.2"] == 1.0
+        assert snap["lat.le.inf"] == 2.0
+        assert snap["util.avg"] == pytest.approx(1.0)
+        assert snap["util.current"] == 0.0
+        assert list(snap) == sorted(snap)
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(set(DEFAULT_SECONDS_BUCKETS))

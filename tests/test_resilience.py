@@ -11,6 +11,7 @@ zero escaped corruption, deterministically across same-seed runs.
 
 import pytest
 
+from repro import obs
 from repro.cluster import (
     CpuWorker,
     HealthPolicy,
@@ -702,3 +703,59 @@ def test_chaos_drill_is_deterministic_across_same_seed_runs():
     _, cluster_a, _, _, _, _ = _chaos_run()
     _, cluster_b, _, _, _, _ = _chaos_run()
     assert cluster_a.stats.counter_snapshot() == cluster_b.stats.counter_snapshot()
+
+
+# --------------------------------------------------------------------- #
+# The resilience/observability seam: the same drill, as seen by the hub
+
+
+class TestObservabilitySeam:
+    def test_exactly_one_health_span_per_state_change(self):
+        with obs.installed() as hub:
+            _, _, _, _, _, workers = _chaos_run()
+        health = [s for s in hub.trace if s.kind == "health"]
+        assert health  # the drill quarantines and rehabilitates workers
+        by_worker = {}
+        for span in health:
+            by_worker.setdefault(span.name, []).append(span)
+        for spans in by_worker.values():
+            # Every span is a genuine change...
+            assert all(s.attrs["from"] != s.attrs["to"] for s in spans)
+            # ...and per-worker spans chain gaplessly from the initial
+            # HEALTHY state: a duplicate emission would repeat a state, a
+            # missed one would break a link.  Together: exactly one span
+            # per transition.
+            assert spans[0].attrs["from"] == HealthState.HEALTHY.value
+            for prev, cur in zip(spans, spans[1:]):
+                assert prev.attrs["to"] == cur.attrs["from"]
+        # The last span per worker agrees with the live state machine.
+        by_name = {w.name: w for w in workers}
+        for name, spans in by_worker.items():
+            assert by_name[name].health.value == spans[-1].attrs["to"]
+        # And the mirrored counter saw every one of them.
+        snapshot = hub.metrics.snapshot()
+        assert snapshot["worker.health_transitions"] == len(health)
+
+    def test_hang_and_retry_spans_reconcile_with_cluster_stats(self):
+        with obs.installed() as hub:
+            _, cluster, _, _, _, _ = _chaos_run()
+        hangs = [s for s in hub.trace if s.kind == "hang"]
+        retries = [s for s in hub.trace if s.kind == "retry"]
+        assert len(hangs) == cluster.stats.hangs_detected
+        assert len(retries) == cluster.stats.retries
+        # Each watchdog strike names the worker it fired over, and every
+        # strike is also a "hang"-outcome step span (the aborted attempt).
+        assert all("worker" in s.attrs for s in hangs)
+        hung_steps = [
+            s for s in hub.trace
+            if s.kind == "step" and s.attrs.get("outcome") == "hang"
+        ]
+        assert len(hung_steps) == len(hangs)
+
+    def test_observed_drill_matches_unobserved_drill(self):
+        # Observability must never perturb the simulation: the same drill
+        # with and without a hub installed lands on identical counters.
+        _, bare, _, _, _, _ = _chaos_run()
+        with obs.installed():
+            _, observed, _, _, _, _ = _chaos_run()
+        assert bare.stats.counter_snapshot() == observed.stats.counter_snapshot()
