@@ -164,6 +164,14 @@ def _cmd_report(args: argparse.Namespace) -> None:
     print(render(summary, timeline_limit=args.timeline))
 
 
+def _cmd_perf(args: argparse.Namespace) -> None:
+    from repro import perfbench
+
+    report = perfbench.write_report(args.out, smoke=args.smoke)
+    print(perfbench.render(report))
+    print(f"wrote {args.out}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -210,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--timeline", type=int, default=30,
                         help="max health-timeline rows to show")
     report.set_defaults(func=_cmd_report)
+
+    perf = sub.add_parser(
+        "perf", help="hot-path perf harness (fast vs reference paths)"
+    )
+    perf.add_argument("--smoke", action="store_true",
+                      help="small workload for CI regression signal")
+    perf.add_argument("--out", default="BENCH_PR3.json",
+                      help="where to write the JSON report")
+    perf.set_defaults(func=_cmd_perf)
     return parser
 
 

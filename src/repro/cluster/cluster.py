@@ -314,8 +314,7 @@ class TranscodeCluster:
 
         def run():
             yield duration
-            worker.release(request)
-            self._release_slot_if_legacy(worker)
+            self.cpu_scheduler.release(worker, request)
             self._emit_step(step, worker.name, "cpu", started, "ok")
             self._complete(step, corrupt=False)
             self._drain_pending()
@@ -354,8 +353,7 @@ class TranscodeCluster:
             else:
                 yield work.done
                 index = 0
-            worker.release(request)
-            self._release_slot_if_legacy(worker)
+            self.vcu_scheduler.release(worker, request)
             self._record_utilization()
             if index == 0:
                 if timer is not None:
@@ -464,17 +462,12 @@ class TranscodeCluster:
 
         def run():
             yield duration
-            worker.release(request)
+            self.cpu_scheduler.release(worker, request)
             self._emit_step(step, worker.name, "sw", started, "ok")
             self._complete(step, corrupt=False)
             self._drain_pending()
 
         self.sim.process(run(), name=f"sw:{step.step_id}")
-
-    def _release_slot_if_legacy(self, worker) -> None:
-        scheduler = self.vcu_scheduler if isinstance(worker, VcuWorker) else None
-        if isinstance(scheduler, SingleSlotScheduler):
-            scheduler.release_slot(worker)
 
     # ------------------------------------------------------------------ #
     # Resilience: quarantine, rehabilitation, fault domains

@@ -9,11 +9,26 @@ decode millicores sends the request to Worker 1).
 :class:`SingleSlotScheduler` is the prior uniform-cost model: every step
 costs one slot regardless of shape, so a 144p SOT and a 2160p MOT consume
 the same "capacity" -- the mismatch the bin-packing scheduler fixes.
+
+Hot-path structure: both schedulers keep an *index* over the worker list
+so a placement probes candidates instead of scanning the whole fleet.
+The bin packer caches per-worker availability as one ``(n_workers,
+n_dims)`` array and computes the set of fitting workers with a handful
+of vectorized comparisons (replicating ``MultiResource.fits`` -- same
+epsilon, same missing-dimension rule); the single-slot model keeps a
+sorted free list.  ``worker.try_admit`` stays authoritative: the index
+is a pre-filter, refreshed from worker ground truth on every admission
+and release the scheduler observes, so placements are identical to the
+pre-index linear scan (preserved as :meth:`BinPackingScheduler.place_scan`
+for the equivalence suite and the perf harness).
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, List, Optional, Protocol, Sequence, Set
+
+import numpy as np
 
 from repro import obs
 
@@ -79,12 +94,34 @@ def _ordered_workers(
 
 
 class BinPackingScheduler:
-    """Online multi-dimensional bin packing over an availability cache."""
+    """Online multi-dimensional bin packing over an availability cache.
+
+    The cache is an ``(n_workers, n_dims)`` float array of remaining
+    capacity per named dimension: workers without a ``resources``
+    attribute (test shims) carry ``+inf`` rows (always candidates,
+    ``try_admit`` decides), dimensions a worker lacks carry ``-inf``
+    (never fit, matching ``MultiResource.fits``).  Rows may only ever
+    be *optimistic* -- an admission the scheduler did not observe makes
+    ``try_admit`` reject and the scan continue, which is exactly what
+    the linear scan did.  A release the scheduler did not observe would
+    make a row pessimistic, so a fruitless indexed pass refreshes every
+    row from ground truth and rescans once before reporting a rejection.
+    """
 
     def __init__(self, workers: Sequence[PlaceableWorker]):
         self._workers: List[PlaceableWorker] = list(workers)
+        # Maintained incrementally on add/remove -- the pre-index code
+        # rebuilt a name->worker dict on every placement.
+        self._by_name: Dict[str, int] = {
+            w.name: i for i, w in enumerate(self._workers)
+        }
         self.placements = 0
         self.rejections = 0
+        self._dims: List[str] = []
+        self._dim_index: Dict[str, int] = {}
+        self._avail = np.empty((0, 0), dtype=np.float64)
+        self._unindexed = np.empty(0, dtype=bool)  # workers w/o .resources
+        self._rebuild_index()
 
     @property
     def workers(self) -> List[PlaceableWorker]:
@@ -92,9 +129,84 @@ class BinPackingScheduler:
 
     def add_worker(self, worker: PlaceableWorker) -> None:
         self._workers.append(worker)
+        self._by_name[worker.name] = len(self._workers) - 1
+        resources = getattr(worker, "resources", None)
+        if resources is not None and any(
+            dim not in self._dim_index for dim in resources.capacity
+        ):
+            self._rebuild_index()
+            return
+        self._avail = np.vstack(
+            [self._avail, np.empty((1, len(self._dims)), dtype=np.float64)]
+        )
+        self._unindexed = np.append(self._unindexed, resources is None)
+        self._refresh_row(len(self._workers) - 1)
 
     def remove_worker(self, worker: PlaceableWorker) -> None:
         self._workers.remove(worker)
+        self._by_name = {w.name: i for i, w in enumerate(self._workers)}
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------ #
+    # Availability index
+
+    def _rebuild_index(self) -> None:
+        dims: List[str] = []
+        seen: Set[str] = set()
+        for worker in self._workers:
+            resources = getattr(worker, "resources", None)
+            if resources is None:
+                continue
+            for dim in resources.capacity:
+                if dim not in seen:
+                    seen.add(dim)
+                    dims.append(dim)
+        self._dims = dims
+        self._dim_index = {dim: j for j, dim in enumerate(dims)}
+        self._avail = np.empty(
+            (len(self._workers), len(dims)), dtype=np.float64
+        )
+        self._unindexed = np.array(
+            [getattr(w, "resources", None) is None for w in self._workers],
+            dtype=bool,
+        ).reshape(len(self._workers))
+        for index in range(len(self._workers)):
+            self._refresh_row(index)
+
+    def _refresh_row(self, index: int) -> None:
+        """Re-read one worker's availability vector from ground truth."""
+        row = self._avail[index]
+        resources = getattr(self._workers[index], "resources", None)
+        if resources is None:
+            row[:] = np.inf
+            return
+        available = resources.available
+        for j, dim in enumerate(self._dims):
+            row[j] = available.get(dim, -np.inf)
+
+    def refresh(self) -> None:
+        """Re-sync every row (external admissions/releases happened)."""
+        for index in range(len(self._workers)):
+            self._refresh_row(index)
+
+    def _fit_mask(self, request: Dict[str, float]) -> np.ndarray:
+        """Elementwise replica of ``MultiResource.fits`` over all workers."""
+        mask = np.ones(len(self._workers), dtype=bool)
+        for dim, amount in request.items():
+            if amount <= 0:
+                continue
+            j = self._dim_index.get(dim)
+            if j is None:
+                # Dimension no indexed worker has: only resource-less
+                # workers can fit it (their try_admit decides).
+                mask &= self._unindexed
+                continue
+            epsilon = max(1e-9, 1e-9 * abs(amount))
+            mask &= self._avail[:, j] + epsilon >= amount
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # Placement
 
     def place(
         self,
@@ -108,6 +220,68 @@ class BinPackingScheduler:
         it already failed on (Section 4.4's fault-correlation retries).
         ``preference`` front-loads the probe order (chunk affinity).
         """
+        worker = self._place_indexed(request, excluded, preference)
+        if worker is None:
+            # The index can only miss a fitting worker if resources were
+            # released behind its back; re-sync and rescan before rejecting.
+            self.refresh()
+            worker = self._place_indexed(request, excluded, preference)
+        if worker is not None:
+            self.placements += 1
+        else:
+            self.rejections += 1
+        _emit_placement("bin_packing", worker, excluded, preference)
+        return worker
+
+    def _place_indexed(
+        self,
+        request: Dict[str, float],
+        excluded: Set[str],
+        preference: Optional[Sequence[str]],
+    ) -> Optional[PlaceableWorker]:
+        mask = self._fit_mask(request)
+        preferred: Set[int] = set()
+        if preference:
+            by_name = self._by_name
+            for name in preference:
+                index = by_name.get(name)
+                if index is None:
+                    continue
+                preferred.add(index)
+                worker = self._workers[index]
+                if (
+                    mask[index]
+                    and worker.name not in excluded
+                    and worker.available()
+                    and worker.try_admit(request)
+                ):
+                    self._refresh_row(index)
+                    return worker
+        for index in np.flatnonzero(mask).tolist():
+            if index in preferred:
+                continue
+            worker = self._workers[index]
+            if worker.name in excluded or not worker.available():
+                continue
+            if worker.try_admit(request):
+                self._refresh_row(index)
+                return worker
+        return None
+
+    def place_scan(
+        self,
+        request: Dict[str, float],
+        excluded: Set[str] = frozenset(),
+        preference: Optional[Sequence[str]] = None,
+    ) -> Optional[PlaceableWorker]:
+        """Pre-index linear scan (parity/benchmark reference).
+
+        Identical placement semantics to :meth:`place`; kept so the
+        equivalence suite can replay one placement stream through both
+        and the perf harness can measure the index's win.  Admissions it
+        performs leave the index optimistic, which :meth:`place`
+        tolerates by construction.
+        """
         for worker in _ordered_workers(self._workers, preference):
             if worker.name in excluded or not worker.available():
                 continue
@@ -119,6 +293,15 @@ class BinPackingScheduler:
         _emit_placement("bin_packing", None, excluded, preference)
         return None
 
+    def release(
+        self, worker: PlaceableWorker, request: Dict[str, float]
+    ) -> None:
+        """Release a placed request and keep the availability index fresh."""
+        worker.release(request)  # type: ignore[attr-defined]
+        index = self._by_name.get(worker.name)
+        if index is not None and self._workers[index] is worker:
+            self._refresh_row(index)
+
 
 class SingleSlotScheduler:
     """The legacy one-dimensional "single slot per graph step" model.
@@ -126,14 +309,20 @@ class SingleSlotScheduler:
     Each worker advertises a fixed slot count derived from its configured
     size and the *average* step resource usage; every step takes exactly
     one slot.  Oversized steps overload workers, undersized steps strand
-    capacity -- which the ablation benchmark quantifies.
+    capacity -- which the ablation benchmark quantifies.  A sorted free
+    list (worker indices with spare slots) keeps placement from scanning
+    slot-exhausted workers; first-fit-by-worker-number order is unchanged.
     """
 
     def __init__(self, workers: Sequence[PlaceableWorker], slots_per_worker: int = 4):
         if slots_per_worker < 1:
             raise ValueError("slots_per_worker must be >= 1")
         self._workers = list(workers)
-        self._slots: Dict[str, int] = {w.name: slots_per_worker for w in self._workers}
+        self._by_name: Dict[str, int] = {
+            w.name: i for i, w in enumerate(self._workers)
+        }
+        self._slots: List[int] = [slots_per_worker] * len(self._workers)
+        self._free: List[int] = list(range(len(self._workers)))
         self.slots_per_worker = slots_per_worker
         self.placements = 0
         self.rejections = 0
@@ -141,6 +330,11 @@ class SingleSlotScheduler:
     @property
     def workers(self) -> List[PlaceableWorker]:
         return list(self._workers)
+
+    def _take_slot(self, index: int) -> None:
+        self._slots[index] -= 1
+        if self._slots[index] == 0:
+            self._free.remove(index)
 
     def place(
         self,
@@ -151,13 +345,32 @@ class SingleSlotScheduler:
         """One slot per step; the request's actual shape is ignored, but
         the worker's physical resources are still reserved (a real machine
         cannot run what does not fit)."""
-        for worker in _ordered_workers(self._workers, preference):
+        preferred: Set[int] = set()
+        if preference:
+            for name in preference:
+                index = self._by_name.get(name)
+                if index is None:
+                    continue
+                preferred.add(index)
+                worker = self._workers[index]
+                if (
+                    self._slots[index] > 0
+                    and worker.name not in excluded
+                    and worker.available()
+                    and worker.try_admit(request)
+                ):
+                    self._take_slot(index)
+                    self.placements += 1
+                    _emit_placement("single_slot", worker, excluded, preference)
+                    return worker
+        for index in list(self._free):
+            if index in preferred:
+                continue
+            worker = self._workers[index]
             if worker.name in excluded or not worker.available():
                 continue
-            if self._slots[worker.name] <= 0:
-                continue
             if worker.try_admit(request):
-                self._slots[worker.name] -= 1
+                self._take_slot(index)
                 self.placements += 1
                 _emit_placement("single_slot", worker, excluded, preference)
                 return worker
@@ -166,4 +379,14 @@ class SingleSlotScheduler:
         return None
 
     def release_slot(self, worker: PlaceableWorker) -> None:
-        self._slots[worker.name] += 1
+        index = self._by_name[worker.name]
+        self._slots[index] += 1
+        if self._slots[index] == 1:
+            insort(self._free, index)
+
+    def release(
+        self, worker: PlaceableWorker, request: Dict[str, float]
+    ) -> None:
+        """Release a placed request plus the slot it burned."""
+        worker.release(request)  # type: ignore[attr-defined]
+        self.release_slot(worker)

@@ -10,11 +10,12 @@ core correctness test, echoing how the paper's deterministic cores enable
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.codec.encoder import ALTREF_INTERVAL, BlockRecord, EncodedChunk, EncodedFrame
+from repro.codec.kernels import batch_dequantize, batch_inverse_dct
 from repro.codec.prediction import intra_predict, sample_block
 from repro.codec.profiles import EncoderProfile
 from repro.codec.temporal_filter import build_altref
@@ -24,11 +25,22 @@ _MAX_DPB = 3
 
 
 class Decoder:
-    """A stateful decoder for one stream encoded with ``profile``."""
+    """A stateful decoder for one stream encoded with ``profile``.
 
-    def __init__(self, profile: EncoderProfile, proxy_shape: tuple):
+    With ``fast`` (the default) every frame's coded residuals are
+    dequantized and inverse-transformed up front as one batched kernel
+    pass per block size, then the per-record replay only applies
+    prediction.  Unlike the encoder -- where intra prediction reads the
+    reconstruction of earlier blocks, forcing block-serial transforms --
+    a decoded frame's residuals depend only on the bitstream, so the
+    whole-frame pass is legal and bit-exact (the round-trip tests pin
+    both paths to the encoder recon).
+    """
+
+    def __init__(self, profile: EncoderProfile, proxy_shape: tuple, fast: bool = True):
         self.profile = profile
         self.proxy_shape = tuple(proxy_shape)
+        self.fast = fast
         self._dpb: List[np.ndarray] = []
         self._altref: Optional[np.ndarray] = None
         self._frame_index = 0
@@ -42,11 +54,39 @@ class Decoder:
     def decode_frame(self, frame: EncodedFrame) -> np.ndarray:
         recon = np.zeros(self.proxy_shape, dtype=np.float64)
         references = [] if frame.frame_type == "key" else self.references()
+        residuals = self._batched_residuals(frame) if self.fast else None
         for record in frame.records:
-            self._decode_block(record, recon, references, frame.qp)
+            self._decode_block(record, recon, references, frame.qp, residuals)
         self._push_reference(recon)
         self._frame_index += 1
         return recon
+
+    @staticmethod
+    def _collect_coded(
+        records: Sequence[BlockRecord], out: List[BlockRecord]
+    ) -> None:
+        for record in records:
+            if record.mode == "split":
+                Decoder._collect_coded(record.split or [], out)
+            elif record.mode in ("intra", "inter"):
+                out.append(record)
+
+    def _batched_residuals(
+        self, frame: EncodedFrame
+    ) -> Dict[int, np.ndarray]:
+        """Whole-frame residual pass: one batched IDCT per block size."""
+        coded: List[BlockRecord] = []
+        self._collect_coded(frame.records, coded)
+        by_size: Dict[int, List[BlockRecord]] = {}
+        for record in coded:
+            by_size.setdefault(record.size, []).append(record)
+        residuals: Dict[int, np.ndarray] = {}
+        for group in by_size.values():
+            stack = np.stack([record.levels for record in group])
+            batch = batch_inverse_dct(batch_dequantize(stack, frame.qp))
+            for index, record in enumerate(group):
+                residuals[id(record)] = batch[index]
+        return residuals
 
     def _push_reference(self, recon: np.ndarray) -> None:
         self._dpb.insert(0, recon)
@@ -66,10 +106,11 @@ class Decoder:
         recon: np.ndarray,
         references: Sequence[np.ndarray],
         qp: float,
+        residuals: Optional[Dict[int, np.ndarray]] = None,
     ) -> None:
         if record.mode == "split":
             for sub in record.split or []:
-                self._decode_block(sub, recon, references, qp)
+                self._decode_block(sub, recon, references, qp, residuals)
             return
 
         y, x, size = record.y, record.x, record.size
@@ -94,15 +135,20 @@ class Decoder:
         else:
             raise ValueError(f"unknown block mode {record.mode!r}")
 
-        residual = inverse_dct(dequantize(record.levels, qp))
+        if residuals is not None:
+            residual = residuals[id(record)]
+        else:
+            residual = inverse_dct(dequantize(record.levels, qp))
         recon[y : y + size, x : x + size] = np.clip(
             prediction + residual, 0.0, 255.0
         )
 
 
-def decode_chunk(chunk: EncodedChunk, profile: EncoderProfile) -> List[np.ndarray]:
+def decode_chunk(
+    chunk: EncodedChunk, profile: EncoderProfile, fast: bool = True
+) -> List[np.ndarray]:
     """Decode every frame of a chunk; returns the reconstruction planes."""
     if not chunk.frames:
         return []
-    decoder = Decoder(profile, chunk.frames[0].recon.shape)
+    decoder = Decoder(profile, chunk.frames[0].recon.shape, fast=fast)
     return [decoder.decode_frame(frame) for frame in chunk.frames]

@@ -24,10 +24,17 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.codec import entropy
-from repro.codec.prediction import MotionVector, best_inter, best_intra, intra_predict, sample_block
+from repro.codec.prediction import (
+    MotionVector,
+    SearchPlanes,
+    _best_inter_reference,
+    _best_intra_reference,
+    best_inter,
+    best_intra,
+)
 from repro.codec.profiles import EncoderProfile
 from repro.codec.temporal_filter import build_altref
-from repro.codec.transform import qp_to_lambda, transform_rd
+from repro.codec.transform import qp_to_lambda, transform_rd, transform_rd_single
 from repro.video.frame import Frame, RawVideo, sequence_psnr
 
 #: References kept in the DPB (sliding window), before the altref slot.
@@ -112,13 +119,32 @@ class EncodedChunk:
 
 
 class Encoder:
-    """A stateful encoder for one stream (one profile, one resolution)."""
+    """A stateful encoder for one stream (one profile, one resolution).
 
-    def __init__(self, profile: EncoderProfile, keyframe_interval: int = 150):
+    ``fast`` selects between the batched hot path (default) and the
+    pre-batching scalar reference implementations of motion search, intra
+    selection, and entropy costing.  Both paths produce bit-identical
+    output -- the reference path exists so the parity suite and the
+    perf-regression harness can prove and measure that claim.
+    """
+
+    def __init__(
+        self,
+        profile: EncoderProfile,
+        keyframe_interval: int = 150,
+        fast: bool = True,
+    ):
         if keyframe_interval < 1:
             raise ValueError("keyframe_interval must be >= 1")
         self.profile = profile
         self.keyframe_interval = keyframe_interval
+        self.fast = fast
+        self._best_intra = best_intra if fast else _best_intra_reference
+        self._best_inter = best_inter if fast else _best_inter_reference
+        self._block_bits = (
+            entropy.block_bits if fast else entropy._block_bits_reference
+        )
+        self._transform_rd = transform_rd_single if fast else transform_rd
         self._dpb: List[np.ndarray] = []  # decoded picture buffer, newest first
         self._altref: Optional[np.ndarray] = None
         self._frame_index = 0
@@ -141,6 +167,13 @@ class Encoder:
         source = frame.data.astype(np.float64)
         recon = np.zeros_like(source)
         references = [] if is_key else self.references()
+        # One SearchPlanes per reference per frame: every block shares the
+        # sliding-window gathers and lazily-built half-pel planes.
+        planes = (
+            [SearchPlanes(reference) for reference in references]
+            if self.fast and references
+            else None
+        )
         lam = qp_to_lambda(qp)
 
         records: List[BlockRecord] = []
@@ -164,7 +197,7 @@ class Encoder:
                 else:
                     record, _, bits, sad = self._encode_block(
                         source, recon, references, y, x, block_h, qp, lam,
-                        self.profile.max_split_depth, predicted_mv,
+                        self.profile.max_split_depth, predicted_mv, planes,
                     )
                     if record.mode == "inter" and record.mv is not None:
                         predicted_mv = record.mv
@@ -223,6 +256,7 @@ class Encoder:
         lam: float,
         split_depth: int,
         predicted_mv: MotionVector,
+        planes: Optional[List[SearchPlanes]] = None,
     ) -> Tuple[BlockRecord, float, float, float]:
         """Encode one square block; returns (record, rd_cost, bits, sad).
 
@@ -232,7 +266,7 @@ class Encoder:
         saved = recon[y : y + size, x : x + size].copy()
 
         record, cost, bits, sad = self._encode_whole(
-            block, recon, references, y, x, size, qp, lam, predicted_mv
+            block, recon, references, y, x, size, qp, lam, predicted_mv, planes
         )
 
         if (
@@ -251,7 +285,7 @@ class Encoder:
                 for ox in (0, half):
                     sub, sub_cost, sub_bits, sub_sad = self._encode_block(
                         source, recon, references, y + oy, x + ox, half,
-                        qp, lam, split_depth - 1, predicted_mv,
+                        qp, lam, split_depth - 1, predicted_mv, planes,
                     )
                     sub_records.append(sub)
                     split_cost += sub_cost
@@ -278,16 +312,18 @@ class Encoder:
         qp: float,
         lam: float,
         predicted_mv: MotionVector,
+        planes: Optional[List[SearchPlanes]] = None,
     ) -> Tuple[BlockRecord, float, float, float]:
         """Encode the block un-split; returns (record, rd_cost, bits, sad)."""
-        intra_mode, intra_pred, intra_sad = best_intra(
+        intra_mode, intra_pred, intra_sad = self._best_intra(
             block, recon, y, x, size, self.profile.rd_candidate_rounds
         )
         choice = ("intra", intra_mode, None, None, intra_pred, intra_sad)
         if references and intra_sad > INTRA_GOOD_ENOUGH_PER_PIXEL * size * size:
-            ref_index, mv, inter_pred, inter_sad = best_inter(
+            ref_index, mv, inter_pred, inter_sad = self._best_inter(
                 block, references, y, x, size,
                 self.profile.search_range, self.profile.half_pel, predicted_mv,
+                planes=planes,
             )
             # Bias by signalling cost so near-ties favour cheap intra DC.
             if inter_sad + 4.0 * entropy.mv_bits(mv.dx, mv.dy) < intra_sad:
@@ -295,16 +331,16 @@ class Encoder:
 
         mode, chosen_intra, ref_index, mv, prediction, sad = choice
         residual = block - prediction
-        levels, recon_residual, distortion = transform_rd(residual, qp)
+        levels, recon_residual, distortion = self._transform_rd(residual, qp)
 
-        bits = entropy.block_bits(levels, self.profile.entropy_efficiency)
+        bits = self._block_bits(levels, self.profile.entropy_efficiency)
         if mode == "intra":
             bits += entropy.MODE_BITS_INTRA
         else:
             bits += entropy.MODE_BITS_INTER + entropy.mv_bits(mv.dx, mv.dy)
 
-        recon[y : y + size, x : x + size] = np.clip(
-            prediction + recon_residual, 0.0, 255.0
+        recon[y : y + size, x : x + size] = (prediction + recon_residual).clip(
+            0.0, 255.0
         )
         cost = distortion + lam * bits
         record = BlockRecord(
@@ -332,7 +368,7 @@ class Encoder:
         levels = np.round((block - mean) / step).astype(np.int64)
         recon_block = np.clip(mean + levels * step, 0.0, 255.0)
         recon[y : y + block_h, x : x + block_w] = recon_block
-        bits = entropy.block_bits(levels, self.profile.entropy_efficiency) + 8.0
+        bits = self._block_bits(levels, self.profile.entropy_efficiency) + 8.0
         sad = float(np.sum(np.abs(block - mean)))
         record = BlockRecord(
             y=y, x=x, size=block_h, mode="edge", levels=levels, intra_mode="dc",
@@ -346,9 +382,10 @@ def encode_video(
     profile: EncoderProfile,
     qp: float,
     keyframe_interval: int = 150,
+    fast: bool = True,
 ) -> EncodedChunk:
     """Encode a whole video at a fixed QP (the RD-curve sweep primitive)."""
-    encoder = Encoder(profile, keyframe_interval=keyframe_interval)
+    encoder = Encoder(profile, keyframe_interval=keyframe_interval, fast=fast)
     encoded = [encoder.encode_frame(frame, qp) for frame in video.frames]
     recon_frames = [
         Frame(e.recon.astype(np.float32), video.nominal, e.index) for e in encoded

@@ -18,14 +18,21 @@ MAX_QP = 51
 
 @lru_cache(maxsize=None)
 def dct_matrix(size: int) -> np.ndarray:
-    """Orthonormal DCT-II basis matrix of the given size."""
+    """Orthonormal DCT-II basis matrix of the given size.
+
+    The returned array is shared by every caller for the lifetime of the
+    process (``lru_cache``), so it is frozen: a caller mutating it would
+    silently corrupt every future transform.
+    """
     if size < 2:
         raise ValueError("transform size must be >= 2")
     k = np.arange(size).reshape(-1, 1)
     n = np.arange(size).reshape(1, -1)
     basis = np.cos(np.pi * (2 * n + 1) * k / (2 * size))
     basis[0, :] *= 1.0 / np.sqrt(2.0)
-    return (basis * np.sqrt(2.0 / size)).astype(np.float64)
+    out = (basis * np.sqrt(2.0 / size)).astype(np.float64)
+    out.flags.writeable = False
+    return out
 
 
 def forward_dct(block: np.ndarray) -> np.ndarray:
@@ -77,4 +84,19 @@ def transform_rd(
     levels = quantize(coefficients, qp)
     reconstructed = inverse_dct(dequantize(levels, qp))
     distortion = float(np.sum((residual - reconstructed) ** 2))
+    return levels, reconstructed, distortion
+
+
+def transform_rd_single(
+    residual: np.ndarray, qp: float
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Fused hot-path :func:`transform_rd` -- bit-identical, same float
+    op sequence, without the per-stage function and validation layers."""
+    basis = dct_matrix(residual.shape[0])
+    step = qp_to_step(qp)
+    coefficients = basis @ residual @ basis.T
+    # np.round with decimals=0 is exactly the rint ufunc on float64.
+    levels = np.rint(coefficients / step).astype(np.int64)
+    reconstructed = basis.T @ (levels.astype(np.float64) * step) @ basis
+    distortion = float(((residual - reconstructed) ** 2).sum())
     return levels, reconstructed, distortion

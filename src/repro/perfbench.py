@@ -1,0 +1,254 @@
+"""Perf-regression harness: measures the batched hot paths vs their
+pre-batching reference implementations.
+
+Three layers carry explicit fast/reference pairs (bit-identical results,
+very different speed):
+
+* the codec -- batched kernels + SAD-map motion search vs the per-block
+  scalar walk (``Encoder(fast=...)``);
+* the bin-packing scheduler -- indexed availability arrays vs the linear
+  fleet scan (``place`` vs ``place_scan``);
+* the event engine and the batched transform kernels, reported as
+  absolute throughput (their references live in the same functions).
+
+``repro-bench perf`` runs everything and writes ``BENCH_PR3.json`` so CI
+can archive the numbers per commit; ``--smoke`` shrinks the workload for
+a quick regression signal.  Wall-clock measurements are best-of-N to cut
+scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+ENCODE_PROFILES = ("libx264", "libvpx", "vcu-h264", "vcu-vp9")
+
+
+def _best_of(repeats: int, fn: Callable[[], None]) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _pair(fast_s: float, reference_s: float) -> Dict[str, float]:
+    return {
+        "fast_s": round(fast_s, 4),
+        "reference_s": round(reference_s, 4),
+        "speedup": round(reference_s / fast_s, 2),
+    }
+
+
+def _synthetic_frames(
+    height: int, width: int, count: int, seed: int = 11
+) -> List[np.ndarray]:
+    """Smoothed noise with per-frame global motion -- textured enough to
+    exercise every mode decision, moving enough to exercise the search."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0, 255, (height + 8 * count, width + 8 * count))
+    for _ in range(2):
+        base = (
+            base
+            + np.roll(base, 1, 0) + np.roll(base, 1, 1)
+            + np.roll(base, -1, 0) + np.roll(base, -1, 1)
+        ) / 5.0
+    frames = []
+    for i in range(count):
+        oy, ox = 2 * i, 3 * i
+        data = base[oy : oy + height, ox : ox + width] + rng.normal(
+            0.0, 2.0, (height, width)
+        )
+        frames.append(np.clip(data, 0, 255).astype(np.float32))
+    return frames
+
+
+def bench_encode(smoke: bool = False, repeats: int = 3) -> Dict[str, Dict]:
+    """Whole-frame encode, fast vs reference, per Figure-7 profile."""
+    from repro.codec.encoder import Encoder
+    from repro.codec.profiles import PROFILES_BY_NAME
+    from repro.video.frame import Frame, Resolution
+
+    height, width, count = (64, 96, 2) if smoke else (96, 160, 4)
+    repeats = 1 if smoke else repeats
+    frames = _synthetic_frames(height, width, count)
+    nominal = Resolution(
+        pixels=width * height, width=width, height=height, name="perfbench"
+    )
+
+    def encode(profile, fast: bool) -> None:
+        encoder = Encoder(profile, keyframe_interval=150, fast=fast)
+        for i, data in enumerate(frames):
+            encoder.encode_frame(Frame(data, nominal, i), 30.0)
+
+    results: Dict[str, Dict] = {}
+    total_fast = total_reference = 0.0
+    for name in ENCODE_PROFILES:
+        profile = PROFILES_BY_NAME[name]
+        fast_s = _best_of(repeats, lambda: encode(profile, True))
+        reference_s = _best_of(repeats, lambda: encode(profile, False))
+        total_fast += fast_s
+        total_reference += reference_s
+        results[name] = _pair(fast_s, reference_s)
+    results["aggregate"] = _pair(total_fast, total_reference)
+    results["aggregate"]["frames"] = count
+    results["aggregate"]["resolution"] = f"{width}x{height}"
+    return results
+
+
+def _scheduler_stream(
+    scheduler, place: Callable, placements: int, seed: int = 3
+) -> int:
+    """Drive ``placements`` placement attempts with interleaved releases.
+
+    Requests vary in shape; ~8 in-flight steps per worker keep the fleet
+    near saturation, which is where the linear scan hurts the most (every
+    placement probes many full workers).  Returns accepted placements.
+    """
+    rng = np.random.default_rng(seed)
+    shapes = [
+        {"millidecode": 250.0, "milliencode": 1200.0, "dram_bytes": 40e6},
+        {"millidecode": 500.0, "milliencode": 3750.0, "dram_bytes": 160e6},
+        {"millidecode": 120.0, "milliencode": 600.0, "dram_bytes": 20e6},
+        {"millidecode": 1000.0, "milliencode": 7500.0, "dram_bytes": 330e6},
+    ]
+    choices = rng.integers(0, len(shapes), size=placements)
+    in_flight: List = []
+    accepted = 0
+    for i in range(placements):
+        request = shapes[choices[i]]
+        worker = place(request)
+        if worker is not None:
+            accepted += 1
+            in_flight.append((worker, request))
+        else:
+            # Fleet full: drain the oldest half before continuing.
+            drain = max(1, len(in_flight) // 2)
+            for worker, request in in_flight[:drain]:
+                scheduler.release(worker, request)
+            del in_flight[:drain]
+    for worker, request in in_flight:
+        scheduler.release(worker, request)
+    return accepted
+
+
+def bench_scheduler(smoke: bool = False, repeats: int = 3) -> Dict[str, Dict]:
+    """10k placements on a 200-VCU fleet: indexed place vs linear scan."""
+    from repro.cluster.scheduler import BinPackingScheduler
+    from repro.cluster.worker import VcuWorker
+    from repro.vcu.chip import Vcu
+    from repro.vcu.spec import DEFAULT_VCU_SPEC
+
+    workers_n, placements = (40, 1000) if smoke else (200, 10_000)
+    repeats = 1 if smoke else repeats
+
+    def run(indexed: bool) -> None:
+        workers = [
+            VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"bench-vcu{i}"))
+            for i in range(workers_n)
+        ]
+        scheduler = BinPackingScheduler(workers)
+        place = scheduler.place if indexed else scheduler.place_scan
+        _scheduler_stream(scheduler, place, placements)
+
+    fast_s = _best_of(repeats, lambda: run(True))
+    reference_s = _best_of(repeats, lambda: run(False))
+    result = _pair(fast_s, reference_s)
+    result["workers"] = workers_n
+    result["placements"] = placements
+    return {"bin_packing": result}
+
+
+def bench_engine(smoke: bool = False) -> Dict[str, float]:
+    """Raw event-loop throughput: pre-bound resume tuples + float yields."""
+    from repro.sim.engine import Simulator
+
+    events = 10_000 if smoke else 100_000
+    sim = Simulator()
+    per_process = events // 100
+
+    def ticker() -> object:
+        for _ in range(per_process):
+            yield 0.001
+
+    for i in range(100):
+        sim.process(ticker(), name=f"ticker{i}")
+    t0 = time.perf_counter()
+    sim.run()
+    seconds = time.perf_counter() - t0
+    return {
+        "events": 100 * per_process,
+        "seconds": round(seconds, 4),
+        "events_per_s": round(100 * per_process / seconds),
+    }
+
+
+def bench_kernels(smoke: bool = False, repeats: int = 5) -> Dict[str, Dict]:
+    """Batched transform stack vs the equivalent per-block scalar loop."""
+    from repro.codec.kernels import batch_transform_rd
+    from repro.codec.transform import transform_rd
+
+    blocks, size = (64, 8) if smoke else (256, 8)
+    repeats = 2 if smoke else repeats
+    rng = np.random.default_rng(5)
+    stack = rng.uniform(-128, 128, (blocks, size, size))
+
+    fast_s = _best_of(repeats, lambda: batch_transform_rd(stack, 30.0))
+    reference_s = _best_of(
+        repeats, lambda: [transform_rd(block, 30.0) for block in stack]
+    )
+    result = _pair(fast_s, reference_s)
+    result["blocks"] = blocks
+    return {"transform_rd": result}
+
+
+def run_all(smoke: bool = False) -> Dict[str, Dict]:
+    report = {
+        "benchmark": "PR3 hot-path overhaul",
+        "smoke": smoke,
+        "encode": bench_encode(smoke=smoke),
+        "scheduler": bench_scheduler(smoke=smoke),
+        "engine": bench_engine(smoke=smoke),
+        "kernels": bench_kernels(smoke=smoke),
+    }
+    return report
+
+
+def write_report(path: str, smoke: bool = False) -> Dict[str, Dict]:
+    report = run_all(smoke=smoke)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def render(report: Dict[str, Dict]) -> str:
+    lines = [f"perf harness ({'smoke' if report['smoke'] else 'full'} mode)"]
+    lines.append("  whole-frame encode (fast vs reference):")
+    for name, row in report["encode"].items():
+        lines.append(
+            f"    {name:10s} {row['fast_s']:8.3f}s vs {row['reference_s']:8.3f}s"
+            f"  -> {row['speedup']:.2f}x"
+        )
+    sched = report["scheduler"]["bin_packing"]
+    lines.append(
+        f"  scheduler ({sched['placements']} placements, {sched['workers']} workers):"
+        f" {sched['fast_s']:.3f}s vs {sched['reference_s']:.3f}s"
+        f" -> {sched['speedup']:.2f}x"
+    )
+    engine = report["engine"]
+    lines.append(
+        f"  engine: {engine['events']} events in {engine['seconds']:.3f}s"
+        f" ({engine['events_per_s']:,} events/s)"
+    )
+    kern = report["kernels"]["transform_rd"]
+    lines.append(
+        f"  batched transform ({kern['blocks']} blocks):"
+        f" {kern['speedup']:.2f}x vs per-block loop"
+    )
+    return "\n".join(lines)

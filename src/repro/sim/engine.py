@@ -162,11 +162,23 @@ class Process:
             # The generator let the interrupt propagate: terminated.
             self.done.succeed(interrupt)
             return
-        if isinstance(yielded, Event):
+        # Fast path first: ``yield <float>`` dominates the simulation's
+        # event volume (every step duration), so it skips both isinstance
+        # checks and the _schedule_resume indirection.
+        cls = type(yielded)
+        if cls is float or cls is int:
+            if yielded < 0:
+                raise ValueError(f"process {self.name!r} yielded negative delay {yielded}")
+            sim = self.sim
+            heapq.heappush(
+                sim._queue,
+                (sim._now + yielded, next(sim._sequence), self._epoch, self, None),
+            )
+        elif isinstance(yielded, Event):
             yielded._add_waiter(self)
         elif isinstance(yielded, Process):
             yielded.done._add_waiter(self)
-        elif isinstance(yielded, (int, float)):
+        elif isinstance(yielded, (int, float)):  # int/float subclasses
             if yielded < 0:
                 raise ValueError(f"process {self.name!r} yielded negative delay {yielded}")
             self.sim._schedule_resume(self, None, delay=float(yielded))
@@ -182,7 +194,12 @@ class Simulator:
 
     def __init__(self):
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Timer, Callable[[], None]]] = []
+        # Two entry shapes share the heap, dispatched by length in run():
+        #   (when, seq, timer, callback)        -- Timer entries
+        #   (when, seq, epoch, process, value)  -- pre-bound process resumes
+        # The (when, seq) prefix is unique (seq is monotonic), so heap
+        # comparisons never reach the mixed third element.
+        self._queue: List[tuple] = []
         self._sequence = itertools.count()
         #: The process whose generator is currently advancing, if any --
         #: the span context the observability layer stamps onto trace
@@ -270,19 +287,29 @@ class Simulator:
         """Run events until the queue drains or the clock passes ``until``.
 
         Returns the final virtual time.  Cancelled timers are discarded
-        without advancing the clock.
+        without advancing the clock; a resume whose process moved on
+        (interrupted or finished) still advances the clock to its
+        timestamp, exactly as the closure-based entries did.
         """
-        while self._queue:
-            when, _, timer, callback = self._queue[0]
-            if timer.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            entry = queue[0]
+            if len(entry) == 4 and entry[2].cancelled:
+                pop(queue)
                 continue
+            when = entry[0]
             if until is not None and when > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._queue)
+            pop(queue)
             self._now = when
-            callback()
+            if len(entry) == 4:
+                entry[3]()
+            else:
+                _, _, epoch, process, value = entry
+                if process._epoch == epoch and not process.done.fired:
+                    process._resume(value)
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -294,10 +321,13 @@ class Simulator:
         delay: float = 0.0,
         epoch: Optional[int] = None,
     ) -> None:
+        """Queue a process resume as a pre-bound heap tuple.
+
+        No Timer, no closure: the staleness check (epoch mismatch or an
+        already-finished process) happens at dispatch time in :meth:`run`.
+        """
         wait_epoch = process._epoch if epoch is None else epoch
-
-        def fire() -> None:
-            if process._epoch == wait_epoch and not process.done.fired:
-                process._resume(value)
-
-        self.call_in(delay, fire)
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, next(self._sequence), wait_epoch, process, value),
+        )

@@ -83,6 +83,100 @@ class TestSingleSlot:
             SingleSlotScheduler(make_workers(1), slots_per_worker=0)
 
 
+class TestIndexedScanEquivalence:
+    """The indexed ``place`` must reproduce the linear scan exactly.
+
+    Replays one pseudo-random placement/release stream through two
+    identical fleets -- one driven by the pre-index ``place_scan``, one
+    by the indexed ``place`` -- and asserts the placement *sequences*
+    match worker for worker.  Two fleets are required because both paths
+    mutate worker resources as they admit."""
+
+    REQUEST_SHAPES = [
+        {"millidecode": 250.0, "milliencode": 1200.0, "dram_bytes": 40e6},
+        {"millidecode": 500.0, "milliencode": 3750.0, "dram_bytes": 160e6},
+        {"millidecode": 120.0, "milliencode": 600.0, "dram_bytes": 20e6},
+        {"millidecode": 1000.0, "milliencode": 7500.0, "dram_bytes": 330e6},
+    ]
+
+    def _replay(self, place_attr, steps, workers_n=7, seed=123):
+        import random
+
+        workers = [
+            VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"eq-vcu{i}"))
+            for i in range(workers_n)
+        ]
+        scheduler = BinPackingScheduler(workers)
+        place = getattr(scheduler, place_attr)
+        rng = random.Random(seed)
+        in_flight = []
+        trace = []
+        for _ in range(steps):
+            if in_flight and rng.random() < 0.35:
+                worker, request = in_flight.pop(rng.randrange(len(in_flight)))
+                scheduler.release(worker, request)
+                trace.append(("release", worker.name))
+                continue
+            request = self.REQUEST_SHAPES[rng.randrange(len(self.REQUEST_SHAPES))]
+            worker = place(request)
+            if worker is None:
+                trace.append(("reject", None))
+            else:
+                in_flight.append((worker, request))
+                trace.append(("place", worker.name))
+        return trace, scheduler
+
+    def test_indexed_matches_scan_on_replayed_stream(self):
+        for seed in (1, 22, 333):
+            scan_trace, scan_sched = self._replay("place_scan", 600, seed=seed)
+            fast_trace, fast_sched = self._replay("place", 600, seed=seed)
+            assert fast_trace == scan_trace
+            assert fast_sched.rejections == scan_sched.rejections
+            assert fast_sched.placements == scan_sched.placements
+
+    def test_indexed_matches_scan_with_preference_and_exclusion(self):
+        for seed in (7, 70):
+            traces = []
+            for place_attr in ("place_scan", "place"):
+                import random
+
+                workers = [
+                    VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"pe-vcu{i}"))
+                    for i in range(5)
+                ]
+                scheduler = BinPackingScheduler(workers)
+                place = getattr(scheduler, place_attr)
+                rng = random.Random(seed)
+                names = [w.name for w in workers]
+                trace = []
+                in_flight = []
+                for _ in range(300):
+                    if in_flight and rng.random() < 0.4:
+                        worker, request = in_flight.pop(
+                            rng.randrange(len(in_flight))
+                        )
+                        scheduler.release(worker, request)
+                        trace.append(("release", worker.name))
+                        continue
+                    request = self.REQUEST_SHAPES[
+                        rng.randrange(len(self.REQUEST_SHAPES))
+                    ]
+                    preference = (
+                        rng.sample(names, 2) if rng.random() < 0.5 else None
+                    )
+                    excluded = (
+                        {rng.choice(names)} if rng.random() < 0.3 else frozenset()
+                    )
+                    worker = place(request, preference=preference, excluded=excluded)
+                    if worker is None:
+                        trace.append(("reject", None))
+                    else:
+                        in_flight.append((worker, request))
+                        trace.append(("place", worker.name))
+                traces.append(trace)
+            assert traces[0] == traces[1]
+
+
 class TestPools:
     def test_rebalance_moves_idle_workers_to_pressure(self):
         upload = Pool(PoolKey(Priority.NORMAL, UseCase.UPLOAD))
