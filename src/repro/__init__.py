@@ -77,8 +77,9 @@ _EXPORTS = {
 }
 
 _SUBPACKAGES = {
-    "balance", "baselines", "cli", "cluster", "codec", "failures", "harness",
-    "metrics", "obs", "sim", "tco", "transcode", "vcu", "video", "workloads",
+    "analysis", "balance", "baselines", "cli", "cluster", "codec", "failures",
+    "harness", "metrics", "obs", "sim", "tco", "transcode", "vcu", "video",
+    "workloads",
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS), *sorted(_SUBPACKAGES)]

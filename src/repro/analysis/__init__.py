@@ -1,0 +1,66 @@
+"""``repro.analysis``: the simulation-safety static analyzer.
+
+The paper's fleet is operable because its software stack is *auditable
+at scale* -- golden-task screening and black-holing mitigation run
+continuously against every VCU (Section 5).  This package is the
+reproduction's equivalent for the codebase itself: an AST-based lint
+engine whose rules encode the repo's runtime contracts so a PR cannot
+silently break them.
+
+Rules (each one guards an invariant another subsystem depends on):
+
+* ``determinism``       -- all randomness flows through explicit
+  ``np.random.Generator`` streams built by :mod:`repro.sim.rng`; no
+  wall-clock reads outside the perf harness.
+* ``obs-hook``          -- every ``obs.active()`` result is None-checked
+  before use and never captured beyond a local.
+* ``sim-yield``         -- engine process generators only yield
+  sanctioned values and never call blocking I/O.
+* ``ordered-iteration`` -- no iteration over sets (or set-algebra on
+  dict views) whose order could differ across runs.
+* ``float-parity``      -- bit-exactness files use ``np.array_equal``,
+  never tolerance comparisons.
+* ``hygiene``           -- no mutable default arguments, no bare
+  ``except:``.
+
+The engine supports per-line and per-file pragma suppressions
+(``# lint: allow=<rule>``), a committed baseline of grandfathered
+findings (``lint-baseline.json``), and text/JSON reporters, all surfaced
+through ``repro-bench lint``.  Everything here is numpy-free so the CLI
+subcommand loads in milliseconds, like ``repro-bench report``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintResult,
+    Rule,
+    analyze_source,
+    default_rules,
+    iter_python_files,
+    register,
+    run_lint,
+)
+from repro.analysis.reporters import render_json, render_text
+
+# Importing the rules module populates the registry as a side effect.
+from repro.analysis import rules as _rules  # noqa: F401  (registration import)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "analyze_source",
+    "default_rules",
+    "iter_python_files",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

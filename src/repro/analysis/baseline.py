@@ -1,0 +1,97 @@
+"""Committed baseline of grandfathered findings.
+
+New rules land against an existing tree; the baseline lets a rule ship
+*today* while pre-existing findings are burned down over time, and makes
+CI fail only on findings that are *new* relative to the committed file.
+
+Entries are keyed by ``path::rule::message`` with a multiplicity count
+-- line numbers churn on every edit, so matching by line would
+invalidate the baseline constantly.  The repo's policy is an
+empty-or-minimal baseline: fix or pragma violations rather than
+grandfathering them (see DESIGN.md "Static analysis").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: The conventional baseline file at the repo root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            key = finding.key()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path} (expected {_FORMAT_VERSION})"
+            )
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in entries.items()
+        ):
+            raise ValueError(f"malformed baseline entries in {path}")
+        return cls(dict(entries))
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """Split findings into (new, grandfathered-count).
+
+        Each baseline entry absorbs at most ``count`` findings with the
+        same fingerprint; any excess is new (a duplicated violation is a
+        new violation).
+        """
+        budget = dict(self.entries)
+        new: List[Finding] = []
+        grandfathered = 0
+        for finding in findings:
+            key = finding.key()
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+                grandfathered += 1
+            else:
+                new.append(finding)
+        return new, grandfathered
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,79 @@
+"""Render a :class:`~repro.analysis.core.LintResult` as text or JSON.
+
+The text reporter prints one ``path:line:col: rule-id message`` row per
+new finding (the format editors and CI annotations understand); the JSON
+reporter emits a stable machine-readable document::
+
+    {
+      "version": 1,
+      "clean": false,
+      "files_scanned": 123,
+      "suppressed": 4,
+      "grandfathered": 0,
+      "parse_errors": [],
+      "findings": [
+        {"rule": "determinism", "path": "src/...", "line": 7,
+         "col": 4, "message": "..."}
+      ]
+    }
+
+``findings`` holds only *new* findings (post-pragma, post-baseline) --
+the set that should gate CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.core import LintResult
+
+__all__ = ["render_text", "render_json", "to_document"]
+
+JSON_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines: List[str] = []
+    for error in result.parse_errors:
+        lines.append(f"PARSE ERROR: {error}")
+    for finding in result.new_findings:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+    summary = (
+        f"{len(result.new_findings)} new finding(s) in "
+        f"{result.files_scanned} file(s)"
+    )
+    extras: List[str] = []
+    if result.grandfathered:
+        extras.append(f"{result.grandfathered} grandfathered by baseline")
+    if result.suppressed:
+        extras.append(f"{result.suppressed} pragma-suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_document(result: LintResult) -> Dict[str, Any]:
+    return {
+        "version": JSON_VERSION,
+        "clean": result.clean,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "grandfathered": result.grandfathered,
+        "parse_errors": list(result.parse_errors),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in result.new_findings
+        ],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_document(result), indent=2)

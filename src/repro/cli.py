@@ -13,9 +13,10 @@ Commands:
     live        Section 4.5 live-latency comparison
     gaming      Section 4.5 Stadia frame-budget check
     report      render a fleet report from a JSONL trace dump
+    lint        simulation-safety static analyzer (repro.analysis)
 
-Heavy imports happen inside each command handler, so ``report`` (pure
-Python) runs without pulling in the numeric stack.
+Heavy imports happen inside each command handler, so ``report`` and
+``lint`` (pure Python) run without pulling in the numeric stack.
 """
 
 from __future__ import annotations
@@ -172,6 +173,39 @@ def _cmd_perf(args: argparse.Namespace) -> None:
     print(f"wrote {args.out}")
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    root = Path(args.root).resolve()
+    baseline = Baseline.empty()
+    use_baseline = args.baseline or args.baseline_file is not None
+    baseline_path = root / (args.baseline_file or DEFAULT_BASELINE_NAME)
+    if use_baseline and not args.update_baseline:
+        if not baseline_path.exists():
+            print(f"lint: baseline file not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        baseline = Baseline.load(baseline_path)
+
+    result = run_lint(root, targets=args.paths or None, baseline=baseline)
+
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"wrote {len(result.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    print(render_json(result) if args.json else render_text(result))
+    return 0 if result.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -227,14 +261,36 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", default="BENCH_PR3.json",
                       help="where to write the JSON report")
     perf.set_defaults(func=_cmd_perf)
+
+    lint = sub.add_parser(
+        "lint", help="simulation-safety static analyzer (repro.analysis)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint, relative to --root "
+             "(default: src tests examples benchmarks setup.py)",
+    )
+    lint.add_argument("--root", default=".",
+                      help="repo root the paths are relative to")
+    lint.add_argument(
+        "--baseline", action="store_true",
+        help="subtract the committed baseline "
+             "(lint-baseline.json under --root)",
+    )
+    lint.add_argument("--baseline-file", default=None, metavar="FILE",
+                      help="use FILE as the baseline instead")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline file from current findings")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable JSON report")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    return int(args.func(args) or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

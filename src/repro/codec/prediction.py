@@ -541,7 +541,11 @@ def _motion_search_reference(
     parity and ignored.
     """
     del planes
-    starts = {(0, 0), (round(predicted_mv.dy), round(predicted_mv.dx))}
+    # (0, 0) first, predicted second: with strict-< replacement this is
+    # the tie-break order the batched fast path hard-codes, and a fixed
+    # tuple keeps the walk order independent of hash seeding.
+    predicted = (round(predicted_mv.dy), round(predicted_mv.dx))
+    starts = ((0, 0),) if predicted == (0, 0) else ((0, 0), predicted)
     best_mv = (0, 0)
     best_sad = _sad(source, sample_block(reference, y, x, size))
     for sy, sx in starts:

@@ -38,7 +38,7 @@ This module (and everything it imports) is numpy-free so the CLI's
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence
 
 from repro.obs.registry import (
     Counter,
@@ -80,7 +80,7 @@ class Observability:
     schedulers, devices) still carry correct virtual timestamps.
     """
 
-    def __init__(self, max_trace_events: int = 200_000):
+    def __init__(self, max_trace_events: int = 200_000) -> None:
         self.metrics = MetricsRegistry()
         self.trace = TraceLog(max_events=max_trace_events)
         self._clock: Optional[Callable[[], float]] = None
@@ -133,7 +133,10 @@ class Observability:
         self.metrics.counter(name).inc(amount)
 
     def observe(
-        self, name: str, value: float, bounds=DEFAULT_SECONDS_BUCKETS
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
     ) -> None:
         self.metrics.histogram(name, bounds).observe(value)
 

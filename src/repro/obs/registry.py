@@ -22,7 +22,7 @@ reconciliation tests diff against :class:`~repro.cluster.cluster.ClusterStats`.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, TypeVar
 
 __all__ = [
     "Counter",
@@ -40,6 +40,9 @@ DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
     0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0,
 )
 
+#: Instrument type variable for the registry's get-or-create accessors.
+_I = TypeVar("_I", bound=object)
+
 
 class UtilizationTracker:
     """Integrates a usage fraction over virtual time.
@@ -48,7 +51,7 @@ class UtilizationTracker:
     the time-weighted mean over the observed span.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self._last_time = start_time
         self._last_value = 0.0
         self._area = 0.0
@@ -79,7 +82,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -94,7 +97,7 @@ class Gauge:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -115,7 +118,9 @@ class Histogram:
 
     __slots__ = ("name", "bounds", "counts", "total", "sum")
 
-    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS):
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS
+    ) -> None:
         bounds = tuple(float(b) for b in bounds)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -157,7 +162,7 @@ class TimeWeightedGauge:
 
     __slots__ = ("name", "_tracker")
 
-    def __init__(self, name: str, start_time: float = 0.0):
+    def __init__(self, name: str, start_time: float = 0.0) -> None:
         self.name = name
         self._tracker = UtilizationTracker(start_time)
 
@@ -180,15 +185,16 @@ class MetricsRegistry:
     another (that is always a wiring bug, so it raises).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
 
-    def _get_or_create(self, name: str, kind: type, *args) -> object:
+    def _get_or_create(self, name: str, kind: Type[_I], *args: Any) -> _I:
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = kind(name, *args)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, kind):
+            created = kind(name, *args)
+            self._instruments[name] = created
+            return created
+        if not isinstance(instrument, kind):
             raise ValueError(
                 f"{name!r} is already a {type(instrument).__name__}, "
                 f"not a {kind.__name__}"

@@ -107,7 +107,7 @@ class TraceSpan:
 class TraceLog:
     """A bounded, append-only event log."""
 
-    def __init__(self, max_events: int = 200_000):
+    def __init__(self, max_events: int = 200_000) -> None:
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
         self.max_events = max_events

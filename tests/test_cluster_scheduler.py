@@ -5,6 +5,7 @@ import pytest
 from repro.cluster.pool import Pool, PoolKey, Priority, UseCase, rebalance_pools
 from repro.cluster.scheduler import BinPackingScheduler, SingleSlotScheduler
 from repro.cluster.worker import VcuWorker
+from repro.sim.rng import make_rng
 from repro.vcu.chip import Vcu
 from repro.vcu.spec import DEFAULT_VCU_SPEC
 
@@ -100,24 +101,22 @@ class TestIndexedScanEquivalence:
     ]
 
     def _replay(self, place_attr, steps, workers_n=7, seed=123):
-        import random
-
         workers = [
             VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"eq-vcu{i}"))
             for i in range(workers_n)
         ]
         scheduler = BinPackingScheduler(workers)
         place = getattr(scheduler, place_attr)
-        rng = random.Random(seed)
+        rng = make_rng(seed)
         in_flight = []
         trace = []
         for _ in range(steps):
             if in_flight and rng.random() < 0.35:
-                worker, request = in_flight.pop(rng.randrange(len(in_flight)))
+                worker, request = in_flight.pop(int(rng.integers(len(in_flight))))
                 scheduler.release(worker, request)
                 trace.append(("release", worker.name))
                 continue
-            request = self.REQUEST_SHAPES[rng.randrange(len(self.REQUEST_SHAPES))]
+            request = self.REQUEST_SHAPES[int(rng.integers(len(self.REQUEST_SHAPES)))]
             worker = place(request)
             if worker is None:
                 trace.append(("reject", None))
@@ -138,34 +137,34 @@ class TestIndexedScanEquivalence:
         for seed in (7, 70):
             traces = []
             for place_attr in ("place_scan", "place"):
-                import random
-
                 workers = [
                     VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"pe-vcu{i}"))
                     for i in range(5)
                 ]
                 scheduler = BinPackingScheduler(workers)
                 place = getattr(scheduler, place_attr)
-                rng = random.Random(seed)
+                rng = make_rng(seed)
                 names = [w.name for w in workers]
                 trace = []
                 in_flight = []
                 for _ in range(300):
                     if in_flight and rng.random() < 0.4:
                         worker, request = in_flight.pop(
-                            rng.randrange(len(in_flight))
+                            int(rng.integers(len(in_flight)))
                         )
                         scheduler.release(worker, request)
                         trace.append(("release", worker.name))
                         continue
                     request = self.REQUEST_SHAPES[
-                        rng.randrange(len(self.REQUEST_SHAPES))
+                        int(rng.integers(len(self.REQUEST_SHAPES)))
                     ]
                     preference = (
-                        rng.sample(names, 2) if rng.random() < 0.5 else None
+                        [names[i] for i in rng.choice(5, size=2, replace=False)]
+                        if rng.random() < 0.5 else None
                     )
                     excluded = (
-                        {rng.choice(names)} if rng.random() < 0.3 else frozenset()
+                        {names[int(rng.integers(len(names)))]}
+                        if rng.random() < 0.3 else frozenset()
                     )
                     worker = place(request, preference=preference, excluded=excluded)
                     if worker is None:

@@ -6,6 +6,7 @@ metrics snapshot exports) must reconcile exactly with the
 accounting paths over the same run.
 """
 
+import os
 import subprocess
 import sys
 
@@ -188,3 +189,20 @@ class TestCli:
             "assert 'numpy' not in sys.modules, 'numpy leaked into the CLI path'\n"
         )
         subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_lint_subcommand_runs_without_numpy(self):
+        # `repro-bench lint` must stay as light as `report`: a full lint
+        # of the analysis package itself (including parsing files that
+        # *mention* numpy) must never import the numeric stack.
+        code = (
+            "import sys\n"
+            "import repro.cli, repro.analysis\n"
+            "rc = repro.cli.main(['lint', 'src/repro/analysis'])\n"
+            "assert rc == 0, 'lint found violations in repro.analysis'\n"
+            "assert 'numpy' not in sys.modules, 'numpy leaked into lint'\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )

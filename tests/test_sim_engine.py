@@ -167,7 +167,7 @@ def test_bad_yield_type_rejected():
     sim = Simulator()
 
     def proc():
-        yield "nonsense"
+        yield "nonsense"  # lint: allow=sim-yield -- the bad yield under test
 
     sim.process(proc())
     with pytest.raises(TypeError):
