@@ -26,3 +26,17 @@ def once(benchmark):
         return run_once(benchmark, fn)
 
     return runner
+
+
+def run_experiment(name, smoke=False):
+    """One registered experiment's ordered unit results, computed fresh.
+
+    The table/figure benches are thin assertions over
+    :mod:`repro.runner` results; running without a cache keeps the bench
+    an honest measurement of the experiment's real cost.
+    """
+    from repro.runner import run_experiments
+    from repro.runner.experiments import default_registry
+
+    result = run_experiments(default_registry(), names=[name], smoke=smoke)
+    return result.runs[0]

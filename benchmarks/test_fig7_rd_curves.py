@@ -17,29 +17,46 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import run_experiment
 from repro.codec.profiles import ALL_PROFILES
-from repro.harness.rd import suite_bd_rates, suite_rd_curves
+from repro.harness.rd import suite_bd_rates
 from repro.metrics import format_table
+from repro.metrics.quality import RDPoint
 from repro.video.vbench import VBENCH_SUITE
-
-#: Economical sweep settings (1-core machine); calibration bands below
-#: were validated at these and the default settings.
-FRAMES = 6
-PROXY_HEIGHT = 60
 
 
 @pytest.fixture(scope="module")
-def curves():
-    return suite_rd_curves(
-        profiles=ALL_PROFILES,
-        titles=VBENCH_SUITE,
-        frame_count=FRAMES,
-        proxy_height=PROXY_HEIGHT,
-    )
+def experiment_run():
+    """The registered fig7 experiment (frames/proxy-height/seed live in
+    its grid); this bench is a thin assertion layer over its results."""
+    return run_experiment("fig7-bd-rates")
 
 
-def test_fig7_bd_rates(curves, once):
+@pytest.fixture(scope="module")
+def curves(experiment_run):
+    """``curves[title][profile] -> [RDPoint...]`` from the unit results."""
+    return {
+        result["title"]: {
+            profile: [RDPoint(bitrate=b, psnr=p) for b, p in points]
+            for profile, points in result["curves"].items()
+        }
+        for result in experiment_run.results
+    }
+
+
+def test_fig7_bd_rates(curves, experiment_run, once):
     summary = once(lambda: suite_bd_rates(curves))
+    # The runner's manifest summary must agree with the direct
+    # computation over the same curves (up to result rounding).
+    by_comparison = {row["comparison"]: row for row in experiment_run.summary_rows()}
+    for name, value in (
+        ("vcu_vp9_vs_libx264", summary.vcu_vp9_vs_libx264),
+        ("vcu_h264_vs_libx264", summary.vcu_h264_vs_libx264),
+        ("vcu_vp9_vs_libvpx", summary.vcu_vp9_vs_libvpx),
+        ("libvpx_vs_libx264", summary.libvpx_vs_libx264),
+    ):
+        assert by_comparison[name]["bd_rate_pct"] == pytest.approx(value, abs=0.5)
+        assert by_comparison[name]["titles"] == len(VBENCH_SUITE)
     print()
     rows = [
         ["VCU-VP9 vs libx264", round(summary.vcu_vp9_vs_libx264, 1), -30.0],

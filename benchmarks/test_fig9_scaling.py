@@ -13,11 +13,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.timeline import (
-    default_timeline,
-    live_adoption_curve,
-    run_timeline,
-)
+from benchmarks.conftest import run_experiment
+from repro.cluster.timeline import default_timeline, live_adoption_curve
 from repro.metrics import format_table
 
 MONTHS = 12
@@ -25,17 +22,19 @@ MONTHS = 12
 
 @pytest.fixture(scope="module")
 def timeline_results():
-    return run_timeline(MONTHS, seed=5, horizon_seconds=80.0)
+    """Ordered per-month result dicts from the registered experiment
+    (seed/horizon/fleet parameters live in its grid)."""
+    return run_experiment("fig9-timeline").results
 
 
 def test_fig9a_upload_scaling(timeline_results, once):
     results = once(lambda: timeline_results)
-    base = results[0].throughput_mpix_s
-    norms = [r.throughput_mpix_s / base for r in results]
+    base = results[0]["throughput_mpix_s"]
+    norms = [r["throughput_mpix_s"] / base for r in results]
     configs = default_timeline(MONTHS)
     print()
     rows = [
-        [r.month, round(n, 2), f"{c.fraction_on_vcu:.0%}", r.vcu_workers]
+        [r["month"], round(n, 2), f"{c.fraction_on_vcu:.0%}", r["vcu_workers"]]
         for r, n, c in zip(results, norms, configs)
     ]
     print(format_table(
@@ -64,12 +63,12 @@ def test_fig9b_live_scaling(once):
 
 def test_fig9c_opportunistic_software_decode(timeline_results, once):
     results = once(lambda: timeline_results)
-    before = [r.decoder_utilization for r in results if r.month <= 6 and r.month >= 3]
-    after = [r.decoder_utilization for r in results if r.month > 6]
+    before = [r["decoder_util"] for r in results if 3 <= r["month"] <= 6]
+    after = [r["decoder_util"] for r in results if r["month"] > 6]
     print()
     print(format_table(
         ["Month", "Decoder util", "Encoder util"],
-        [[r.month, round(r.decoder_utilization, 3), round(r.encoder_utilization, 3)]
+        [[r["month"], round(r["decoder_util"], 3), round(r["encoder_util"], 3)]
          for r in results],
         title="Figure 9c: hardware decoder utilization (paper: ~98% -> ~91%)",
     ))

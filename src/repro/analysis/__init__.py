@@ -40,6 +40,7 @@ from repro.analysis.core import (
     Rule,
     analyze_source,
     default_rules,
+    imported_modules,
     iter_python_files,
     register,
     run_lint,
@@ -58,6 +59,7 @@ __all__ = [
     "Rule",
     "analyze_source",
     "default_rules",
+    "imported_modules",
     "iter_python_files",
     "register",
     "render_json",

@@ -13,6 +13,7 @@ Commands:
     live        Section 4.5 live-latency comparison
     gaming      Section 4.5 Stadia frame-budget check
     report      render a fleet report from a JSONL trace dump
+    run         sharded deterministic experiment runner (repro.runner)
     lint        simulation-safety static analyzer (repro.analysis)
 
 Heavy imports happen inside each command handler, so ``report`` and
@@ -158,19 +159,65 @@ def _cmd_gaming(args: argparse.Namespace) -> None:
               f"{session.frame_budget_ms:.1f} ms budget)")
 
 
-def _cmd_report(args: argparse.Namespace) -> None:
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import load, render, summarize
 
-    summary = summarize(load(args.trace))
-    print(render(summary, timeline_limit=args.timeline))
+    try:
+        spans = load(args.trace)
+    except OSError as exc:
+        print(f"report: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    print(render(summarize(spans), timeline_limit=args.timeline))
+    return 0
 
 
-def _cmd_perf(args: argparse.Namespace) -> None:
+def _cmd_perf(args: argparse.Namespace) -> int:
     from repro import perfbench
 
     report = perfbench.write_report(args.out, smoke=args.smoke)
     print(perfbench.render(report))
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        ResultCache,
+        build_manifest,
+        manifest_text,
+        render_markdown,
+        render_stats,
+        run_experiments,
+        write_manifest,
+    )
+    from repro.runner.experiments import default_registry
+
+    registry = default_registry()
+    cache = None
+    if not args.no_cache:
+        from pathlib import Path
+
+        cache = ResultCache(Path(args.cache_dir))
+    try:
+        result = run_experiments(
+            registry,
+            names=args.experiments,
+            jobs=args.jobs,
+            cache=cache,
+            smoke=args.smoke,
+        )
+    except KeyError as exc:
+        print(f"run: {exc.args[0]}", file=sys.stderr)
+        return 2
+    manifest = build_manifest(result.runs)
+    write_manifest(args.out, manifest)
+    if args.json:
+        print(manifest_text(manifest), end="")
+    else:
+        print(render_markdown(manifest))
+        print(render_stats(result.stats))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -261,6 +308,28 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", default="BENCH_PR3.json",
                       help="where to write the JSON report")
     perf.set_defaults(func=_cmd_perf)
+
+    run = sub.add_parser(
+        "run",
+        help="sharded deterministic experiment runner (repro.runner)",
+    )
+    run.add_argument(
+        "experiments", nargs="*",
+        help="experiment names to run (default: every registered experiment)",
+    )
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes to shard units across")
+    run.add_argument("--cache-dir", default=".repro-cache",
+                     help="content-addressed result cache directory")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute every unit, bypassing the cache")
+    run.add_argument("--smoke", action="store_true",
+                     help="reduced grids for a quick CI signal")
+    run.add_argument("--out", default="BENCH_PR5.json",
+                     help="where to write the manifest")
+    run.add_argument("--json", action="store_true",
+                     help="print the manifest JSON instead of markdown")
+    run.set_defaults(func=_cmd_run)
 
     lint = sub.add_parser(
         "lint", help="simulation-safety static analyzer (repro.analysis)"

@@ -215,6 +215,35 @@ class MetricsRegistry:
     def time_gauge(self, name: str, start_time: float = 0.0) -> TimeWeightedGauge:
         return self._get_or_create(name, TimeWeightedGauge, start_time)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s instruments into this registry, in place.
+
+        Counters and histograms merge exactly (sums / bucketwise adds --
+        the associative instruments); plain gauges take ``other``'s
+        value (last-wins, matching their semantics).  Time-weighted
+        gauges integrate a *virtual* clock that cannot be re-based after
+        the fact, so merging one is always a wiring bug and raises.
+        Used by the experiment runner to roll a run's private registry
+        into the installed hub.
+        """
+        for name in other.names():
+            instrument = other._instruments[name]
+            if isinstance(instrument, Counter):
+                self.counter(name).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(name).set(instrument.value)
+            elif isinstance(instrument, Histogram):
+                mine = self.histogram(name, instrument.bounds)
+                merged = mine.merge(instrument)
+                mine.counts = merged.counts
+                mine.total = merged.total
+                mine.sum = merged.sum
+            else:
+                raise ValueError(
+                    f"cannot merge {type(instrument).__name__} {name!r}: "
+                    "time-weighted gauges have no mergeable clock basis"
+                )
+
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 

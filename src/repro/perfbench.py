@@ -19,7 +19,6 @@ scheduler noise.
 
 from __future__ import annotations
 
-import json
 import time
 from typing import Callable, Dict, List
 
@@ -222,10 +221,10 @@ def run_all(smoke: bool = False) -> Dict[str, Dict]:
 
 
 def write_report(path: str, smoke: bool = False) -> Dict[str, Dict]:
+    from repro.runner.manifest import dump_json
+
     report = run_all(smoke=smoke)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    dump_json(path, report)
     return report
 
 

@@ -1,0 +1,203 @@
+"""Content-addressed on-disk result cache for experiment units.
+
+A unit's cache key is a SHA-256 fingerprint over:
+
+* the runner schema version;
+* the experiment's identity (name, seed, result-schema version+fields);
+* the unit's parameters (canonical JSON);
+* the SHA-256 of every repo source file the experiment's code
+  (transitively) imports, discovered by walking the import graph with
+  :func:`repro.analysis.imported_modules`.
+
+Unchanged experiments are therefore instant cache hits, and *any* edit
+to a source file the experiment actually depends on -- and only those --
+precisely invalidates its entries.  Entries are content-addressed:
+``<cache_dir>/<experiment>/<fingerprint>.json``.  A corrupted or
+truncated entry is treated as a miss (and counted), never an error; the
+unit is simply recomputed and the entry rewritten.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis import imported_modules
+from repro.runner.registry import RUNNER_SCHEMA_VERSION, Experiment, UnitContext
+
+#: Entry payload version, independent of the fingerprint inputs.
+CACHE_ENTRY_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text: sorted keys, fixed separators, newline."""
+    return json.dumps(payload, sort_keys=True, indent=2, ensure_ascii=True) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Import-graph closure
+
+
+def repo_root() -> Path:
+    """The checkout root, derived from this file's location (src layout)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _module_candidates(root: Path, module: str) -> List[Path]:
+    """Files that could define ``module`` under ``root`` (src layout)."""
+    rel = Path(*module.split("."))
+    return [
+        root / "src" / rel.with_suffix(".py"),
+        root / "src" / rel / "__init__.py",
+        root / rel.with_suffix(".py"),
+        root / rel / "__init__.py",
+    ]
+
+
+def resolve_module(root: Path, module: str) -> Optional[Path]:
+    """The repo file defining ``module``, or ``None`` for external deps."""
+    for candidate in _module_candidates(root, module):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def import_closure(root: Path, modules: Tuple[str, ...]) -> List[Path]:
+    """Transitive closure of repo files reachable from ``modules``.
+
+    External modules (numpy, stdlib) resolve to no repo file and are
+    ignored; ``from pkg import name`` contributes both ``pkg`` and
+    ``pkg.name`` as candidates and existence filtering keeps the real
+    ones.  Returns sorted paths so fingerprints are order-independent.
+    """
+    root = Path(root)
+    seen: Dict[str, Optional[Path]] = {}
+    queue = list(modules)
+    files: Set[Path] = set()
+    while queue:
+        module = queue.pop()
+        if module in seen:
+            continue
+        path = resolve_module(root, module)
+        seen[module] = path
+        if path is None:
+            continue
+        files.add(path)
+        # A module's package __init__ runs on import, so it is a real
+        # dependency even when never named explicitly.
+        parts = module.split(".")
+        for depth in range(1, len(parts)):
+            queue.append(".".join(parts[:depth]))
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (SyntaxError, UnicodeDecodeError, OSError):
+            continue
+        queue.extend(sorted(imported_modules(
+            tree, module, is_package=path.name == "__init__.py"
+        )))
+    return sorted(files)
+
+
+def source_hashes(root: Path, modules: Tuple[str, ...]) -> Dict[str, str]:
+    """``{repo-relative posix path: sha256}`` over the import closure."""
+    root = Path(root)
+    hashes: Dict[str, str] = {}
+    for path in import_closure(root, modules):
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        hashes[path.relative_to(root).as_posix()] = digest
+    return hashes
+
+
+# --------------------------------------------------------------------- #
+# Fingerprints
+
+
+def unit_fingerprint(
+    experiment: Experiment,
+    unit: UnitContext,
+    sources: Mapping[str, str],
+) -> str:
+    """The unit's content address; ``sources`` from :func:`source_hashes`."""
+    spec = {
+        "runner_version": RUNNER_SCHEMA_VERSION,
+        "experiment": experiment.name,
+        "seed": experiment.seed,
+        "schema": {
+            "version": experiment.schema.version,
+            "fields": list(experiment.schema.fields),
+        },
+        "unit": {"index": unit.index, "params": dict(unit.params)},
+        "sources": dict(sources),
+    }
+    return hashlib.sha256(canonical_json(spec).encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# The on-disk cache
+
+
+class ResultCache:
+    """Directory of content-addressed unit results.
+
+    Writes are atomic (tmp file + ``os.replace``) so a crashed run never
+    leaves a half-written entry that later parses.  Reads validate the
+    payload shape and embedded fingerprint; anything off is a miss.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0  # corrupt/unreadable entries survived as misses
+
+    def _path(self, experiment: str, fingerprint: str) -> Path:
+        return self.directory / experiment / f"{fingerprint}.json"
+
+    def get(self, experiment: str, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached result dict, or ``None`` (miss -- never raises)."""
+        path = self._path(experiment, fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.errors += 1
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("entry_version") != CACHE_ENTRY_VERSION
+            or payload.get("fingerprint") != fingerprint
+            or not isinstance(payload.get("result"), dict)
+        ):
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(
+        self,
+        experiment: str,
+        fingerprint: str,
+        unit: UnitContext,
+        result: Mapping[str, Any],
+    ) -> None:
+        path = self._path(experiment, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "entry_version": CACHE_ENTRY_VERSION,
+            "fingerprint": fingerprint,
+            "experiment": experiment,
+            "unit_index": unit.index,
+            "params": dict(unit.params),
+            "result": dict(result),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(canonical_json(payload), encoding="utf-8")
+        os.replace(tmp, path)

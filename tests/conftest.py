@@ -1,10 +1,79 @@
-"""Shared fixtures: small, fast synthetic videos for codec-level tests."""
+"""Shared fixtures plus the CI shard splitter.
+
+Fixtures: small, fast synthetic videos for codec-level tests.
+
+Sharding: when ``REPRO_TEST_SHARD=<index>/<total>`` is set (1-based
+index), collection keeps only the test files assigned to that shard by
+the committed ``tests/shards.json`` manifest, so CI can fan the tier-1
+suite out across parallel jobs.  Files the manifest does not know about
+fall back to a stable hash of their basename -- a brand-new test file
+runs in exactly one shard without touching the manifest, and the three
+shards always partition the suite.
+"""
 
 from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
 
 import pytest
 
 from repro.video.content import ContentSpec, SyntheticVideo
+
+SHARD_ENV_VAR = "REPRO_TEST_SHARD"
+SHARDS_MANIFEST = Path(__file__).resolve().parent / "shards.json"
+
+
+def load_shard_manifest(path: Path = SHARDS_MANIFEST) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def shard_of(basename: str, manifest: dict, total: int) -> int:
+    """The 1-based shard a test file runs in.
+
+    Manifest assignments apply only when the manifest was built for this
+    shard count; otherwise (and for unlisted files) a stable CRC32 of
+    the basename keeps the partition property without coordination.
+    """
+    if manifest.get("count") == total:
+        assigned = manifest.get("assignments", {}).get(basename)
+        if assigned is not None:
+            return ((int(assigned) - 1) % total) + 1
+    return (zlib.crc32(basename.encode("utf-8")) % total) + 1
+
+
+def parse_shard_spec(spec: str) -> tuple:
+    index_text, sep, total_text = spec.partition("/")
+    try:
+        index, total = int(index_text), int(total_text)
+    except ValueError:
+        index, total = 0, 0
+    if not sep or total < 1 or not 1 <= index <= total:
+        raise pytest.UsageError(
+            f"{SHARD_ENV_VAR}={spec!r}: expected <index>/<total> with "
+            "1 <= index <= total"
+        )
+    return index, total
+
+
+def pytest_collection_modifyitems(config, items):
+    spec = os.environ.get(SHARD_ENV_VAR)
+    if not spec:
+        return
+    index, total = parse_shard_spec(spec)
+    manifest = load_shard_manifest() if SHARDS_MANIFEST.exists() else {}
+    kept, deselected = [], []
+    for item in items:
+        basename = Path(str(item.fspath)).name
+        if shard_of(basename, manifest, total) == index:
+            kept.append(item)
+        else:
+            deselected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = kept
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,83 @@
+"""CLI exit-code and end-to-end coverage for ``run``, ``perf``, ``report``.
+
+Every handler must return its own rc (``main`` forwards it), the ``run``
+subcommand must produce a parseable manifest plus a warm-cache second
+invocation, and the historical perf/report paths keep their contracts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+# table2 is the cheapest registered experiment (one analytic unit), so
+# the CLI round-trips stay fast enough for tier-1.
+EXPERIMENT = "table2-host-resources"
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestRunSubcommand:
+    def test_end_to_end_writes_manifest(self, workdir, capsys):
+        rc = main(["run", EXPERIMENT, "--out", "manifest.json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        manifest = json.loads((workdir / "manifest.json").read_text())
+        assert EXPERIMENT in manifest["experiments"]
+        entry = manifest["experiments"][EXPERIMENT]
+        assert len(entry["units"]) == 1
+        assert all(len(u["fingerprint"]) == 64 for u in entry["units"])
+        assert "## " in captured.out          # markdown report
+        assert "cache:" in captured.out       # stats block
+        assert "wrote manifest.json" in captured.err
+
+    def test_second_invocation_is_all_cache_hits(self, workdir, capsys):
+        argv = ["run", EXPERIMENT, "--out", "manifest.json"]
+        assert main(argv) == 0
+        cold = (workdir / "manifest.json").read_bytes()
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "hit rate 100%" in capsys.readouterr().out
+        assert (workdir / "manifest.json").read_bytes() == cold
+
+    def test_json_flag_prints_exactly_the_manifest(self, workdir, capsys):
+        assert main(["run", EXPERIMENT, "--no-cache", "--json",
+                     "--out", "manifest.json"]) == 0
+        out = capsys.readouterr().out
+        assert out == (workdir / "manifest.json").read_text()
+
+    def test_unknown_experiment_is_rc2(self, workdir, capsys):
+        assert main(["run", "no-such-experiment"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert not (workdir / "BENCH_PR5.json").exists()
+
+
+class TestPerfSubcommand:
+    def test_smoke_end_to_end_rc0(self, workdir, capsys):
+        rc = main(["perf", "--smoke", "--out", "perf.json"])
+        assert rc == 0
+        report = json.loads((workdir / "perf.json").read_text())
+        assert report  # non-empty machine-readable report
+        assert "wrote perf.json" in capsys.readouterr().out
+
+
+class TestReportSubcommand:
+    def test_valid_trace_rc0(self, workdir, capsys):
+        with obs.installed() as hub:
+            hub.emit("step", "unit", t0=0.0, t1=1.0)
+            hub.trace.write_jsonl("run.jsonl")
+        assert main(["report", "run.jsonl"]) == 0
+        assert "Trace report:" in capsys.readouterr().out
+
+    def test_missing_trace_rc2(self, workdir, capsys):
+        assert main(["report", "missing.jsonl"]) == 2
+        assert "cannot read trace" in capsys.readouterr().err

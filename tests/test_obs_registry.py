@@ -174,3 +174,56 @@ class TestMetricsRegistry:
 
     def test_default_buckets_are_strictly_increasing(self):
         assert list(DEFAULT_SECONDS_BUCKETS) == sorted(set(DEFAULT_SECONDS_BUCKETS))
+
+
+class TestRegistryMerge:
+    """``MetricsRegistry.merge``: the runner's roll-in primitive."""
+
+    def test_counters_add_and_gauges_last_win(self):
+        target, other = MetricsRegistry(), MetricsRegistry()
+        target.counter("events").inc(2)
+        target.gauge("level").set(0.5)
+        other.counter("events").inc(3)
+        other.gauge("level").set(0.25)
+        target.merge(other)
+        assert target.counter("events").value == 5
+        assert target.gauge("level").value == 0.25
+
+    def test_new_instruments_materialize_in_target(self):
+        target, other = MetricsRegistry(), MetricsRegistry()
+        other.counter("fresh").inc(7)
+        target.merge(other)
+        assert target.counter("fresh").value == 7
+
+    def test_histograms_merge_bucketwise(self):
+        target, other = MetricsRegistry(), MetricsRegistry()
+        bounds = (1.0, 2.0)
+        target.histogram("lat", bounds=bounds).observe(0.5)
+        other.histogram("lat", bounds=bounds).observe(1.5)
+        other.histogram("lat", bounds=bounds).observe(5.0)
+        target.merge(other)
+        snap = target.snapshot()
+        assert snap["lat.count"] == 3.0
+        assert snap["lat.le.1"] == 1.0
+        assert snap["lat.le.2"] == 2.0
+        assert snap["lat.le.inf"] == 3.0
+        assert snap["lat.sum"] == 7.0
+
+    def test_histogram_bound_mismatch_raises(self):
+        target, other = MetricsRegistry(), MetricsRegistry()
+        target.histogram("lat", bounds=(1.0,)).observe(0.5)
+        other.histogram("lat", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="bounds"):
+            target.merge(other)
+
+    def test_time_weighted_gauges_refuse_to_merge(self):
+        target, other = MetricsRegistry(), MetricsRegistry()
+        other.time_gauge("util").set(0.0, 1.0)
+        with pytest.raises(ValueError, match="clock basis"):
+            target.merge(other)
+
+    def test_merge_is_idempotent_on_empty_source(self):
+        target = MetricsRegistry()
+        target.counter("events").inc(1)
+        target.merge(MetricsRegistry())
+        assert target.snapshot() == {"events": 1.0}

@@ -1,0 +1,177 @@
+"""Cache-layer tests: import closure, fingerprints, corruption recovery.
+
+The fake repo trees built here exercise the content-addressing contract
+end to end: a fingerprint moves iff something the experiment actually
+depends on moved (its params, its seed, its schema, or a source file in
+its transitive import closure) -- and a damaged cache entry is always a
+recomputation, never a crash or a wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.cache import (
+    CACHE_ENTRY_VERSION,
+    ResultCache,
+    canonical_json,
+    import_closure,
+    repo_root,
+    resolve_module,
+    source_hashes,
+    unit_fingerprint,
+)
+from repro.runner.registry import Experiment, ResultSchema, UnitContext
+
+SCHEMA = ResultSchema(version=1, fields=("v",))
+
+
+def fake_tree(root):
+    """src-layout tree: pkg/__init__ -> a -> b, plus an unrelated module."""
+    pkg = root / "src" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("from pkg import a\n")
+    (pkg / "a.py").write_text("from pkg.b import helper\n\n\ndef run():\n    return helper()\n")
+    (pkg / "b.py").write_text("def helper():\n    return 1\n")
+    (root / "src" / "solo.py").write_text("import json\n\nVALUE = 2\n")
+    return root
+
+
+def make_experiment(sources=("pkg.a",), seed=7, schema=SCHEMA, name="exp"):
+    return Experiment(
+        name=name, title="t", fn=lambda ctx: {"v": 0}, grid=({"q": 1},),
+        seed=seed, schema=schema, sources=tuple(sources),
+    )
+
+
+UNIT = UnitContext(experiment="exp", index=0, params={"q": 1}, seed=7)
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_fixed_layout_trailing_newline(self):
+        text = canonical_json({"b": 1, "a": [1, 2]})
+        assert text == '{\n  "a": [\n    1,\n    2\n  ],\n  "b": 1\n}\n'
+
+    def test_key_order_never_leaks(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+
+class TestImportClosure:
+    def test_resolve_prefers_src_layout_and_handles_packages(self, tmp_path):
+        fake_tree(tmp_path)
+        assert resolve_module(tmp_path, "pkg") == tmp_path / "src/pkg/__init__.py"
+        assert resolve_module(tmp_path, "pkg.a") == tmp_path / "src/pkg/a.py"
+        assert resolve_module(tmp_path, "numpy") is None
+
+    def test_closure_is_transitive_and_includes_package_init(self, tmp_path):
+        fake_tree(tmp_path)
+        files = import_closure(tmp_path, ("pkg.a",))
+        names = [p.relative_to(tmp_path).as_posix() for p in files]
+        # pkg.a imports pkg.b; importing pkg.a also runs pkg/__init__.
+        assert names == ["src/pkg/__init__.py", "src/pkg/a.py", "src/pkg/b.py"]
+
+    def test_external_imports_are_ignored(self, tmp_path):
+        fake_tree(tmp_path)
+        files = import_closure(tmp_path, ("solo",))
+        assert [p.name for p in files] == ["solo.py"]
+
+    def test_repo_root_points_at_this_checkout(self):
+        assert (repo_root() / "src" / "repro" / "runner").is_dir()
+        # The real registry module resolves inside this repo.
+        assert resolve_module(repo_root(), "repro.runner.registry") is not None
+
+
+class TestSourceHashes:
+    def test_keys_are_repo_relative_posix_paths(self, tmp_path):
+        fake_tree(tmp_path)
+        hashes = source_hashes(tmp_path, ("pkg.a",))
+        assert sorted(hashes) == [
+            "src/pkg/__init__.py", "src/pkg/a.py", "src/pkg/b.py",
+        ]
+        assert all(len(digest) == 64 for digest in hashes.values())
+
+    def test_editing_a_file_moves_only_its_hash(self, tmp_path):
+        fake_tree(tmp_path)
+        before = source_hashes(tmp_path, ("pkg.a",))
+        (tmp_path / "src/pkg/b.py").write_text("def helper():\n    return 99\n")
+        after = source_hashes(tmp_path, ("pkg.a",))
+        assert before["src/pkg/a.py"] == after["src/pkg/a.py"]
+        assert before["src/pkg/b.py"] != after["src/pkg/b.py"]
+
+
+class TestUnitFingerprint:
+    def test_stable_across_calls(self, tmp_path):
+        fake_tree(tmp_path)
+        hashes = source_hashes(tmp_path, ("pkg.a",))
+        exp = make_experiment()
+        assert unit_fingerprint(exp, UNIT, hashes) == unit_fingerprint(exp, UNIT, hashes)
+
+    def test_moves_with_every_input_it_claims(self, tmp_path):
+        fake_tree(tmp_path)
+        hashes = source_hashes(tmp_path, ("pkg.a",))
+        exp = make_experiment()
+        base = unit_fingerprint(exp, UNIT, hashes)
+
+        assert unit_fingerprint(make_experiment(seed=8), UNIT, hashes) != base
+        bumped = ResultSchema(version=2, fields=SCHEMA.fields)
+        assert unit_fingerprint(make_experiment(schema=bumped), UNIT, hashes) != base
+        other_unit = UnitContext(experiment="exp", index=0, params={"q": 2}, seed=7)
+        assert unit_fingerprint(exp, other_unit, hashes) != base
+
+        (tmp_path / "src/pkg/b.py").write_text("def helper():\n    return 99\n")
+        edited = source_hashes(tmp_path, ("pkg.a",))
+        assert unit_fingerprint(exp, UNIT, edited) != base
+
+    def test_untouched_dependency_set_keeps_fingerprint(self, tmp_path):
+        fake_tree(tmp_path)
+        exp = make_experiment()
+        base = unit_fingerprint(exp, UNIT, source_hashes(tmp_path, ("pkg.a",)))
+        # Editing a module outside the closure changes nothing.
+        (tmp_path / "src/solo.py").write_text("VALUE = 3\n")
+        assert unit_fingerprint(exp, UNIT, source_hashes(tmp_path, ("pkg.a",))) == base
+
+
+class TestResultCache:
+    FP = "f" * 64
+
+    def test_miss_put_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("exp", self.FP) is None
+        cache.put("exp", self.FP, UNIT, {"v": 42})
+        assert cache.get("exp", self.FP) == {"v": 42}
+        assert (cache.hits, cache.misses, cache.errors) == (1, 1, 0)
+
+    def test_entry_layout_is_content_addressed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", self.FP, UNIT, {"v": 1})
+        path = tmp_path / "exp" / f"{self.FP}.json"
+        payload = json.loads(path.read_text())
+        assert payload["entry_version"] == CACHE_ENTRY_VERSION
+        assert payload["fingerprint"] == self.FP
+        assert payload["unit_index"] == 0
+        assert not list(tmp_path.rglob("*.tmp"))  # atomic replace, no debris
+
+    @pytest.mark.parametrize("damage", [
+        "not json at all",
+        '"a bare string"\n',
+        '{"entry_version": 999, "fingerprint": "%s", "result": {}}' % ("f" * 64),
+        '{"entry_version": 1, "fingerprint": "wrong", "result": {}}',
+        '{"entry_version": 1, "fingerprint": "%s", "result": [1]}' % ("f" * 64),
+        "",
+    ])
+    def test_damaged_entries_are_counted_misses(self, tmp_path, damage):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", self.FP, UNIT, {"v": 1})
+        (tmp_path / "exp" / f"{self.FP}.json").write_text(damage)
+        assert cache.get("exp", self.FP) is None
+        assert cache.errors == 1 and cache.misses == 1 and cache.hits == 0
+
+    def test_rewrite_after_damage_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", self.FP, UNIT, {"v": 1})
+        (tmp_path / "exp" / f"{self.FP}.json").write_text("garbage")
+        assert cache.get("exp", self.FP) is None
+        cache.put("exp", self.FP, UNIT, {"v": 1})
+        assert cache.get("exp", self.FP) == {"v": 1}

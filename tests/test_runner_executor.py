@@ -1,0 +1,177 @@
+"""Executor determinism suite: serial-vs-sharded byte-identity, cache
+lifecycle (hit / miss / source-edit invalidation / corruption recovery),
+and the obs roll-in.
+
+Unit callables live at module level so shard workers can pickle them by
+reference when the pool falls back to spawn; the experiments themselves
+are registered in a throwaway registry per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.runner.cache import ResultCache
+from repro.runner.executor import _deal_shards, run_experiments
+from repro.runner.manifest import build_manifest, manifest_text
+from repro.runner.registry import Experiment, ExperimentRegistry, ResultSchema
+
+SCHEMA = ResultSchema(version=1, fields=("x", "draw"))
+
+
+def draw_unit(ctx):
+    """Deterministic-by-identity unit: params plus one private RNG draw."""
+    return {"x": ctx.params["x"], "draw": round(float(ctx.rng.random()), 12)}
+
+
+def square_unit(ctx):
+    return {"x": ctx.params["x"] ** 2, "draw": round(float(ctx.rng.random()), 12)}
+
+
+def fake_tree(root):
+    """Two independent single-file modules the experiments claim as sources."""
+    src = root / "src"
+    src.mkdir(parents=True, exist_ok=True)
+    (src / "dep_a.py").write_text("VALUE = 1\n")
+    (src / "dep_b.py").write_text("VALUE = 2\n")
+    return root
+
+
+def make_registry():
+    registry = ExperimentRegistry()
+    registry.add(Experiment(
+        name="alpha", title="Alpha", fn=draw_unit,
+        grid=tuple({"x": i} for i in range(5)), seed=3, schema=SCHEMA,
+        sources=("dep_a",),
+    ))
+    registry.add(Experiment(
+        name="beta", title="Beta", fn=square_unit,
+        grid=tuple({"x": i} for i in range(4)), seed=9, schema=SCHEMA,
+        sources=("dep_b",),
+    ))
+    return registry
+
+
+def run_manifest(registry, root, **kwargs):
+    result = run_experiments(registry, root=str(root), **kwargs)
+    return manifest_text(build_manifest(result.runs)), result
+
+
+class TestDeterminism:
+    def test_serial_and_sharded_manifests_byte_identical(self, tmp_path):
+        fake_tree(tmp_path)
+        registry = make_registry()
+        serial, _ = run_manifest(registry, tmp_path, jobs=1)
+        for jobs in (3, 4):
+            sharded, result = run_manifest(registry, tmp_path, jobs=jobs)
+            assert sharded == serial, f"jobs={jobs} diverged from jobs=1"
+            assert result.stats.shards > 1
+
+    def test_results_land_in_grid_order(self, tmp_path):
+        fake_tree(tmp_path)
+        result = run_experiments(make_registry(), root=str(tmp_path), jobs=3)
+        by_name = {run.experiment.name: run for run in result.runs}
+        assert [r["x"] for r in by_name["alpha"].results] == [0, 1, 2, 3, 4]
+        assert [r["x"] for r in by_name["beta"].results] == [0, 1, 4, 9]
+
+    def test_cache_temperature_never_changes_the_manifest(self, tmp_path):
+        fake_tree(tmp_path)
+        registry = make_registry()
+        cache = ResultCache(tmp_path / "cache")
+        cold, _ = run_manifest(registry, tmp_path, jobs=2, cache=cache)
+        warm, _ = run_manifest(registry, tmp_path, jobs=2, cache=cache)
+        uncached, _ = run_manifest(registry, tmp_path, jobs=1)
+        assert cold == warm == uncached
+
+    def test_jobs_must_be_positive(self, tmp_path):
+        fake_tree(tmp_path)
+        with pytest.raises(ValueError, match="jobs"):
+            run_experiments(make_registry(), root=str(tmp_path), jobs=0)
+
+
+class TestCacheLifecycle:
+    def test_second_run_is_all_hits(self, tmp_path):
+        fake_tree(tmp_path)
+        registry = make_registry()
+        cache = ResultCache(tmp_path / "cache")
+        _, first = run_manifest(registry, tmp_path, cache=cache)
+        assert first.stats.cache_hits == 0
+        assert first.stats.cache_misses == first.stats.units == 9
+
+        cache2 = ResultCache(tmp_path / "cache")
+        _, second = run_manifest(registry, tmp_path, cache=cache2)
+        assert second.stats.cache_hits == 9
+        assert second.stats.cache_misses == 0
+        assert second.stats.hit_rate == 1.0
+        assert second.stats.shards == 0  # nothing left to execute
+
+    def test_source_edit_invalidates_only_dependents(self, tmp_path):
+        fake_tree(tmp_path)
+        registry = make_registry()
+        cache_dir = tmp_path / "cache"
+        run_manifest(registry, tmp_path, cache=ResultCache(cache_dir))
+
+        # alpha depends on dep_a only; beta on dep_b only.
+        (tmp_path / "src" / "dep_a.py").write_text("VALUE = 100\n")
+        cache = ResultCache(cache_dir)
+        _, result = run_manifest(registry, tmp_path, cache=cache)
+        assert result.stats.cache_misses == 5   # alpha recomputed
+        assert result.stats.cache_hits == 4     # beta untouched
+
+    def test_corrupted_entry_recovers_by_recompute(self, tmp_path):
+        fake_tree(tmp_path)
+        registry = make_registry()
+        cache_dir = tmp_path / "cache"
+        _, first = run_manifest(registry, tmp_path, cache=ResultCache(cache_dir))
+
+        victim = sorted((cache_dir / "alpha").glob("*.json"))[0]
+        victim.write_text("{truncated")
+        _, second = run_manifest(registry, tmp_path, cache=ResultCache(cache_dir))
+        assert second.stats.cache_errors == 1
+        assert second.stats.cache_hits == 8
+        assert second.stats.cache_misses == 1
+
+        # The entry was rewritten: a third run is clean again.
+        _, third = run_manifest(registry, tmp_path, cache=ResultCache(cache_dir))
+        assert third.stats.cache_hits == 9 and third.stats.cache_errors == 0
+
+
+class TestSharding:
+    def test_deal_shards_partitions_round_robin(self):
+        work = [(f"e{i}", i) for i in range(7)]
+        shards = _deal_shards(work, 3)
+        assert [index for index, _ in shards] == [0, 1, 2]
+        dealt = [item for _, shard in shards for item in shard]
+        assert sorted(dealt) == sorted(work)
+        sizes = [len(shard) for _, shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_never_more_shards_than_work_or_jobs(self):
+        work = [("e", 0), ("e", 1)]
+        assert len(_deal_shards(work, 8)) == 2
+        assert len(_deal_shards(work, 1)) == 1
+        assert _deal_shards([], 4) == []
+
+
+class TestObsRollIn:
+    def test_run_accounting_lands_in_installed_hub(self, tmp_path):
+        fake_tree(tmp_path)
+        registry = make_registry()
+        with obs.installed() as hub:
+            result = run_experiments(
+                registry, root=str(tmp_path), jobs=2,
+                cache=ResultCache(tmp_path / "cache"),
+            )
+            snap = hub.metrics.snapshot()
+        assert snap["runner.experiments"] == 2.0
+        assert snap["runner.units"] == 9.0
+        assert snap["runner.cache.misses"] == 9.0
+        assert snap["runner.shards"] == float(result.stats.shards)
+        assert snap["runner.jobs"] == 2.0
+        assert snap["runner.shard_seconds.count"] == float(result.stats.shards)
+
+    def test_no_hub_no_crash(self, tmp_path):
+        fake_tree(tmp_path)
+        assert obs.active() is None
+        run_experiments(make_registry(), root=str(tmp_path))

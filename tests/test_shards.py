@@ -1,0 +1,105 @@
+"""The shard manifest and splitter must always partition the suite.
+
+These tests keep ``tests/shards.json`` honest: every test file is
+assigned to exactly one valid shard, no stale entries linger after a
+file is removed, and the hash fallback (used for files added without a
+manifest edit, or when the shard count changes) still partitions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tests.conftest import (
+    SHARDS_MANIFEST,
+    load_shard_manifest,
+    parse_shard_spec,
+    shard_of,
+)
+
+TESTS_DIR = Path(__file__).resolve().parent
+
+
+def suite_files():
+    return sorted(p.name for p in TESTS_DIR.glob("test_*.py"))
+
+
+class TestManifest:
+    def test_manifest_exists_with_positive_count(self):
+        manifest = load_shard_manifest()
+        assert manifest["count"] >= 2  # sharding that doesn't shard is a lie
+
+    def test_every_test_file_is_assigned(self):
+        assigned = load_shard_manifest()["assignments"]
+        missing = [name for name in suite_files() if name not in assigned]
+        assert not missing, (
+            f"add {missing} to {SHARDS_MANIFEST.name} (pick the lightest shard)"
+        )
+
+    def test_no_stale_assignments(self):
+        manifest = load_shard_manifest()
+        existing = suite_files()
+        stale = sorted(name for name in manifest["assignments"]
+                       if name not in existing)
+        assert not stale, f"remove deleted files from shards.json: {stale}"
+
+    def test_assignments_are_valid_shard_ids(self):
+        manifest = load_shard_manifest()
+        count = manifest["count"]
+        for name in sorted(manifest["assignments"]):
+            shard = manifest["assignments"][name]
+            assert 1 <= shard <= count, f"{name}: shard {shard} out of 1..{count}"
+
+    def test_every_shard_gets_work(self):
+        manifest = load_shard_manifest()
+        loads = {shard: 0 for shard in range(1, manifest["count"] + 1)}
+        for name in suite_files():
+            loads[shard_of(name, manifest, manifest["count"])] += 1
+        assert all(loads.values()), f"empty shard in {loads}"
+
+
+class TestSplitter:
+    def test_manifest_assignment_partitions(self):
+        manifest = load_shard_manifest()
+        count = manifest["count"]
+        for name in suite_files():
+            owners = [s for s in range(1, count + 1)
+                      if shard_of(name, manifest, count) == s]
+            assert len(owners) == 1
+
+    def test_unlisted_file_falls_back_to_stable_hash(self):
+        manifest = load_shard_manifest()
+        count = manifest["count"]
+        shard = shard_of("test_brand_new_subsystem.py", manifest, count)
+        assert 1 <= shard <= count
+        assert shard == shard_of("test_brand_new_subsystem.py", manifest, count)
+
+    def test_count_mismatch_ignores_manifest(self):
+        manifest = {"count": 3, "assignments": {"test_x.py": 3}}
+        # Asked for 2 shards: the 3-way manifest no longer applies, but
+        # the hash fallback still yields a valid 1..2 shard.
+        assert shard_of("test_x.py", manifest, 2) in (1, 2)
+
+    def test_parse_shard_spec_roundtrip(self):
+        assert parse_shard_spec("1/3") == (1, 3)
+        assert parse_shard_spec("3/3") == (3, 3)
+
+    @pytest.mark.parametrize("bad", ["0/3", "4/3", "3", "a/b", "1/0", "", "1/"])
+    def test_parse_shard_spec_rejects_malformed(self, bad):
+        with pytest.raises(pytest.UsageError):
+            parse_shard_spec(bad)
+
+    def test_shards_cover_the_whole_suite(self):
+        # Partition property over the real manifest: shard selections
+        # union back to the full file list with no overlap.
+        manifest = load_shard_manifest()
+        count = manifest["count"]
+        files = suite_files()
+        union = []
+        for shard in range(1, count + 1):
+            union.extend(
+                name for name in files if shard_of(name, manifest, count) == shard
+            )
+        assert sorted(union) == files
