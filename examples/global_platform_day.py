@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""A platform day through the fleet control plane, outage included.
+
+The flagship robustness drill of ``repro.control``: one (compressed)
+diurnal day of live + upload + batch traffic over a four-region fleet.
+Mid-day, us-east — the largest region — goes dark for a fifth of the
+day, straddling the upload peak. The control plane drains the lost
+region to the survivors, admission sheds batch (never live) while
+capacity is short, the capacity autoscaler grows the surviving sites,
+and the region rejoins. Both arms run: the outage day and the healthy
+control day, so the scorecard deltas isolate what the outage cost.
+
+Run:  python examples/global_platform_day.py
+"""
+
+from __future__ import annotations
+
+from repro.control import ScenarioConfig, run_global_platform_day
+
+DAY_SECONDS = 1800.0
+SEED = 11
+
+SHOW = (
+    "jobs.submitted", "jobs.done", "jobs.shed",
+    "class.live.completion_rate", "class.upload.completion_rate",
+    "class.batch.completion_rate",
+    "class.batch.shed", "class.upload.shed", "class.live.shed",
+    "class.live.queue_p99", "class.batch.queue_p99",
+    "failover.routed", "failover.drained_running",
+    "autoscale.actions", "autoscale.peak_slots",
+    "dead_letter.count", "conservation.ok",
+)
+
+
+def run_arm(outage: bool):
+    config = ScenarioConfig(day_seconds=DAY_SECONDS, outage=outage)
+    return run_global_platform_day(config, seed=SEED)
+
+
+def main() -> None:
+    print(f"global platform day: {DAY_SECONDS:g} s compressed, seed {SEED}")
+    arms = {"healthy day": run_arm(False), "us-east outage": run_arm(True)}
+    width = max(len(key) for key in SHOW)
+    header = " ".join(f"{name:>16}" for name in arms)
+    print(f"{'scorecard key':{width}} {header}")
+    for key in SHOW:
+        row = " ".join(
+            f"{arms[name].scorecard[key]!s:>16}" for name in arms
+        )
+        print(f"{key:{width}} {row}")
+    outage_card = arms["us-east outage"].scorecard
+    assert outage_card["conservation.ok"], "a job went missing"
+    assert outage_card["class.live.shed"] == 0, "live must shed last"
+    print("\nevery submitted job reached exactly one terminal state; "
+          "shedding stayed class-ordered (batch first, live never).")
+
+
+if __name__ == "__main__":
+    main()

@@ -220,6 +220,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_platform(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.control.scenario import ScenarioConfig, run_global_platform_day
+
+    config = ScenarioConfig(
+        day_seconds=args.day_seconds,
+        outage=not args.no_outage,
+        failure_rate=args.failure_rate,
+    )
+    result = run_global_platform_day(config, seed=args.seed)
+    if args.json:
+        print(json.dumps(result.scorecard, indent=2, sort_keys=True))
+    else:
+        print(f"global platform day: {config.day_seconds:g} s, "
+              f"outage={'on' if config.outage else 'off'}, seed={args.seed}")
+        for key, value in result.scorecard.items():
+            print(f"  {key:32s} {value}")
+    if args.ledger:
+        result.plane.ledger.write_jsonl(args.ledger)
+        print(f"wrote {args.ledger}", file=sys.stderr)
+    return 0 if result.scorecard["conservation.ok"] else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -330,6 +354,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="print the manifest JSON instead of markdown")
     run.set_defaults(func=_cmd_run)
+
+    platform = sub.add_parser(
+        "platform",
+        help="global-platform-day control-plane scenario (SLO scorecard)",
+    )
+    platform.add_argument("--day-seconds", type=float, default=3600.0,
+                          help="length of the compressed diurnal cycle")
+    platform.add_argument("--seed", type=int, default=11)
+    platform.add_argument("--no-outage", action="store_true",
+                          help="run the control arm (no regional outage)")
+    platform.add_argument("--failure-rate", type=float, default=0.02,
+                          help="per-attempt execution fault probability")
+    platform.add_argument("--json", action="store_true",
+                          help="print the scorecard as JSON")
+    platform.add_argument("--ledger", default=None, metavar="FILE",
+                          help="also dump the job transition log as JSONL")
+    platform.set_defaults(func=_cmd_platform)
 
     lint = sub.add_parser(
         "lint", help="simulation-safety static analyzer (repro.analysis)"

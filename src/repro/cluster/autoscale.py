@@ -9,7 +9,7 @@ hysteresis controller avoids flapping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cluster.pool import Pool, PoolKey
 
@@ -35,6 +35,86 @@ class ScalingAction:
     from_pool: PoolKey
     to_pool: PoolKey
     workers: int
+
+
+@dataclass(frozen=True)
+class CapacityAutoscaleConfig:
+    """Hysteresis thresholds for slot-count (site capacity) scaling.
+
+    Where :class:`AutoscaleConfig` governs moving *workers between
+    pools* inside one cluster, this governs growing/shrinking a site's
+    total dispatch slots -- the control-plane-level response to backlog
+    (e.g. surviving regions absorbing a failed region's traffic).
+    """
+
+    #: Grow when *waiting* jobs per slot exceed this.
+    scale_up_pressure: float = 2.0
+    #: Shrink when total occupancy (waiting + running per slot) falls
+    #: below this: a fleet keeping up with demand has near-zero waiting
+    #: but busy slots, and shrinking it would manufacture an overload.
+    scale_down_pressure: float = 0.25
+    #: Slots added/removed per decision.
+    step_slots: int = 4
+
+    def __post_init__(self) -> None:
+        if self.scale_down_pressure >= self.scale_up_pressure:
+            raise ValueError("hysteresis band requires down < up pressure")
+        if self.step_slots < 1:
+            raise ValueError("step_slots must be >= 1")
+
+
+@dataclass(frozen=True)
+class CapacityAction:
+    """One slot-scaling decision, for operator visibility."""
+
+    at: float
+    site: str
+    old_slots: int
+    new_slots: int
+
+
+class CapacityAutoscaler:
+    """Pure hysteresis controller over (waiting, running, slots).
+
+    Deterministic and side-effect-free apart from its action history:
+    the caller applies the returned slot count.  Never shrinks below
+    the running count (slots in use cannot be reclaimed mid-job) nor
+    outside the ``[min_slots, max_slots]`` bounds it is given.
+    """
+
+    def __init__(self, config: Optional["CapacityAutoscaleConfig"] = None):
+        self.config = config or CapacityAutoscaleConfig()
+        self.history: List[CapacityAction] = []
+
+    def evaluate(
+        self,
+        site: str,
+        waiting: int,
+        running: int,
+        slots: int,
+        min_slots: int,
+        max_slots: int,
+        at: float,
+    ) -> int:
+        """The new slot count for one site at one controller tick."""
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        backlog_pressure = waiting / slots
+        occupancy = (waiting + running) / slots
+        new_slots = slots
+        if backlog_pressure > self.config.scale_up_pressure:
+            new_slots = min(max_slots, slots + self.config.step_slots)
+        elif occupancy < self.config.scale_down_pressure:
+            new_slots = max(min_slots, running, slots - self.config.step_slots)
+        if new_slots != slots:
+            self.history.append(CapacityAction(
+                at=at, site=site, old_slots=slots, new_slots=new_slots,
+            ))
+        return new_slots
+
+    @property
+    def actions(self) -> int:
+        return len(self.history)
 
 
 class Autoscaler:

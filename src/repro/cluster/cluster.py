@@ -28,7 +28,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Generator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable, Deque, Dict, Generator, List, Optional, Sequence, Set, Tuple,
+)
 
 import numpy as np
 
@@ -125,6 +127,7 @@ class TranscodeCluster:
         fault_domain: Optional[FaultDomainPolicy] = FaultDomainPolicy(),
         affinity_placement: bool = False,
         affinity_size: int = 3,
+        on_graph_done: Optional[Callable[[StepGraph], None]] = None,
     ):
         if not 0.0 <= integrity_check_rate <= 1.0:
             raise ValueError("integrity_check_rate must be in [0, 1]")
@@ -152,6 +155,10 @@ class TranscodeCluster:
             self._affinity = ChunkAffinityPolicy(
                 ring, affinity_size=min(affinity_size, len(self.vcu_workers))
             )
+        #: Invoked with each graph exactly once, at completion time.  The
+        #: control plane uses this to close the job-lifecycle loop when a
+        #: :class:`~repro.control.plane.ClusterExecutor` backs a site.
+        self.on_graph_done = on_graph_done
         self.stats = ClusterStats(throughput=ThroughputWindow(start_time=sim.now))
         # When an observability hub is installed, bind it to this run's
         # virtual clock (and the engine's active-process context) so
@@ -592,6 +599,8 @@ class TranscodeCluster:
                     t0=graph.submitted_at, t1=graph.completed_at,
                     attrs={"steps": len(graph.steps)},
                 )
+            if self.on_graph_done is not None:
+                self.on_graph_done(graph)
 
     # ------------------------------------------------------------------ #
     # Metrics

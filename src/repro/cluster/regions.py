@@ -33,12 +33,15 @@ class ClusterSite:
     capacity: int
     in_flight: int = 0
     routed_total: int = 0
+    #: False while the site is lost to a regional outage; down sites
+    #: never admit (the control plane's failover layer drains them).
+    up: bool = True
 
     def headroom(self) -> int:
         return self.capacity - self.in_flight
 
     def admit(self) -> bool:
-        if self.in_flight >= self.capacity:
+        if not self.up or self.in_flight >= self.capacity:
             return False
         self.in_flight += 1
         self.routed_total += 1
@@ -56,11 +59,19 @@ def distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
 
 @dataclass
 class RoutingDecision:
-    """Where one video went and why."""
+    """Where one video went and why.
+
+    ``spilled`` and ``rejected`` are mutually exclusive: a spill means
+    the video *was served*, just not by its nearest cluster; a rejection
+    means no cluster admitted it at all (``cluster`` is ``None`` and
+    ``distance`` is infinite).  Earlier versions conflated the two by
+    reporting full-fleet rejections as spills.
+    """
 
     cluster: Optional[ClusterSite]
-    spilled: bool  # True when the nearest cluster had no capacity
+    spilled: bool  # True when served by a non-nearest cluster
     distance: float
+    rejected: bool = False  # True when every cluster refused admission
 
 
 class GlobalScheduler:
@@ -93,8 +104,20 @@ class GlobalScheduler:
                     cluster=site, spilled=spilled,
                     distance=distance(origin, site.location),
                 )
+        # Full-fleet rejection: nothing admitted, so nothing "spilled"
+        # anywhere -- rejections are their own outcome, not far spills.
         self.reject_count += 1
-        return RoutingDecision(cluster=None, spilled=True, distance=float("inf"))
+        return RoutingDecision(
+            cluster=None, spilled=False, distance=float("inf"), rejected=True,
+        )
+
+    def set_site_up(self, name: str, up: bool) -> ClusterSite:
+        """Flip one site's availability (regional outage / recovery)."""
+        for site in self.sites:
+            if site.name == name:
+                site.up = up
+                return site
+        raise KeyError(f"unknown cluster site {name!r}")
 
     def regional_throughput(self) -> Dict[str, int]:
         """Videos routed per region (the equalization target of App. A.1)."""

@@ -1,0 +1,85 @@
+"""The fleet control plane: durable job lifecycle above the clusters.
+
+The paper's deployment story (Sections 2.2 and 4) implies a service
+layer above any single cluster: admission control that protects live
+traffic, multi-region routing with failover, bounded retries, and
+accounting good enough that no job is ever lost silently.  This package
+is that layer for the simulated fleet:
+
+* :mod:`repro.control.jobs` -- SLO classes, the per-job state machine,
+  and the deterministic retry policy.
+* :mod:`repro.control.queue` -- the durable job ledger (conservation
+  invariant), strict-priority class queues, and the dead-letter ledger.
+* :mod:`repro.control.admission` -- per-class load-factor ceilings and
+  the class-ordered shedding sweep.
+* :mod:`repro.control.failover` -- site runtimes and deterministic
+  routing with failover/spill accounting and outage drains.
+* :mod:`repro.control.plane` -- the :class:`ControlPlane` service tying
+  it together over pluggable executors.
+* :mod:`repro.control.scenario` -- the flagship "global platform day"
+  scenario and its SLO scorecard.
+"""
+
+from repro.control.admission import AdmissionConfig, AdmissionController
+from repro.control.failover import FailoverRouter, SiteRuntime
+from repro.control.jobs import (
+    CLASS_ORDER,
+    SHED_ORDER,
+    TERMINAL_STATES,
+    IllegalTransition,
+    Job,
+    JobRequest,
+    JobState,
+    RetryPolicy,
+    SloClass,
+)
+from repro.control.plane import (
+    ClusterExecutor,
+    ControlPlane,
+    ModeledExecutor,
+    make_sites,
+)
+from repro.control.queue import (
+    ClassQueue,
+    DeadLetter,
+    DeadLetterLedger,
+    JobLedger,
+    TransitionRecord,
+)
+from repro.control.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    build_scorecard,
+    run_global_platform_day,
+    scorecard_keys,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "CLASS_ORDER",
+    "ClassQueue",
+    "ClusterExecutor",
+    "ControlPlane",
+    "DeadLetter",
+    "DeadLetterLedger",
+    "FailoverRouter",
+    "IllegalTransition",
+    "Job",
+    "JobLedger",
+    "JobRequest",
+    "JobState",
+    "ModeledExecutor",
+    "RetryPolicy",
+    "SHED_ORDER",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SiteRuntime",
+    "SloClass",
+    "TERMINAL_STATES",
+    "TransitionRecord",
+    "build_scorecard",
+    "make_sites",
+    "run_global_platform_day",
+    "scorecard_keys",
+]

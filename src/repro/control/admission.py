@@ -1,0 +1,113 @@
+"""Admission control: SLO classes shed in priority order under overload.
+
+Section 2.2's global scheduler does not reject blindly when the fleet is
+hot -- it protects the traffic that cannot wait.  The controller models
+that as per-class *load-factor ceilings*: a job is admitted while the
+fleet's load factor (work outstanding per available slot) is below its
+class's ceiling.  Batch has the lowest ceiling, live the highest, so as
+overload builds the classes shed strictly in order: batch first, then
+upload, and live only under extreme pressure.
+
+Two verbs cover the two ways overload arrives:
+
+* :meth:`AdmissionController.decide` gates each *new* submission (and
+  each retry re-entering the queue) against the current load factor.
+* :meth:`AdmissionController.shed_excess` is the sweep the control
+  plane runs after a *capacity loss* (a regional outage): already-queued
+  low-priority jobs are shed until the survivors fit under the ceilings
+  again, freeing the surviving regions for the traffic that matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.control.jobs import Job, SHED_ORDER, SloClass
+from repro.control.queue import ClassQueue
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Per-class load-factor ceilings (outstanding work per slot).
+
+    A load factor of 1.0 means exactly one outstanding job per slot;
+    the defaults admit live traffic up to 8x oversubscription while
+    batch sheds as soon as the fleet runs ~1.5x hot.
+    """
+
+    live_ceiling: float = 8.0
+    upload_ceiling: float = 4.0
+    batch_ceiling: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.batch_ceiling <= self.upload_ceiling <= self.live_ceiling:
+            raise ValueError(
+                "ceilings must satisfy 0 < batch <= upload <= live "
+                "(shedding must be class-ordered)"
+            )
+
+    def ceiling_for(self, cls: SloClass) -> float:
+        if cls is SloClass.LIVE:
+            return self.live_ceiling
+        if cls is SloClass.UPLOAD:
+            return self.upload_ceiling
+        return self.batch_ceiling
+
+
+class AdmissionController:
+    """Stateless decisions plus per-class accounting."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config or AdmissionConfig()
+        self.admitted = {cls: 0 for cls in SloClass}
+        self.shed = {cls: 0 for cls in SloClass}
+
+    @staticmethod
+    def load_factor(outstanding: int, capacity: int) -> float:
+        """Outstanding jobs per available slot; +inf with no capacity."""
+        if capacity <= 0:
+            return float("inf")
+        return outstanding / capacity
+
+    def decide(self, job: Job, load_factor: float) -> bool:
+        """True = admit, False = shed.  Pure in (class, load factor)."""
+        if load_factor < self.config.ceiling_for(job.slo_class):
+            self.admitted[job.slo_class] += 1
+            return True
+        self.shed[job.slo_class] += 1
+        return False
+
+    def shed_excess(
+        self,
+        queues: List[ClassQueue],
+        outstanding: Callable[[], int],
+        capacity: int,
+    ) -> List[Job]:
+        """Shed queued low-priority jobs until the load fits again.
+
+        ``queues`` are visited round-robin in the given (deterministic)
+        order; within the sweep, each class is fully shed across all
+        queues before the next-higher class is touched, so the result is
+        class-ordered no matter how jobs were distributed.  Returns the
+        shed jobs; the caller owns the state transitions.
+        """
+        shed: List[Job] = []
+        if capacity <= 0:
+            # Total blackout: shedding everything would punish jobs that
+            # merely need to wait for a region to return.  Park instead.
+            return shed
+        for cls in SHED_ORDER:
+            ceiling = self.config.ceiling_for(cls)
+            progress = True
+            while self.load_factor(outstanding(), capacity) >= ceiling and progress:
+                progress = False
+                for queue in queues:
+                    if self.load_factor(outstanding(), capacity) < ceiling:
+                        break
+                    job = queue.shed_one(at_or_below=cls)
+                    if job is not None:
+                        self.shed[job.slo_class] += 1
+                        shed.append(job)
+                        progress = True
+        return shed

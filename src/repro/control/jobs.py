@@ -1,0 +1,200 @@
+"""Jobs, SLO classes, and the per-job lifecycle state machine.
+
+The control plane never loses a job silently: every job moves through an
+explicit state machine and every transition is legality-checked at the
+single choke point (:meth:`Job.transition`), so an illegal hop is a bug
+that raises immediately instead of a job quietly evaporating.
+
+::
+
+    QUEUED ----> ADMITTED ----> RUNNING ----> DONE
+      | ^           |  |          |
+      | |           |  +--> SHED  +--> FAILED        (retries exhausted)
+      | +-----------+             |
+      +--> SHED                   +--> RETRY_WAIT --> QUEUED
+                                           |
+                                           +--> FAILED
+
+* ``QUEUED -> ADMITTED``: admission control accepted the job and routed
+  it to a site.
+* ``QUEUED | ADMITTED -> SHED``: admission (or an overload sweep after a
+  capacity loss) dropped the job; shedding is class-ordered, batch
+  before upload before live.
+* ``ADMITTED -> QUEUED``: the assigned site went down before dispatch;
+  the job drains back to the global queue at no cost to its retry
+  budget.
+* ``RUNNING -> RETRY_WAIT``: the attempt failed (device fault or the
+  site died mid-flight); a deterministic exponential backoff runs
+  before the job re-enters ``QUEUED``.
+* ``RUNNING | RETRY_WAIT -> FAILED``: the bounded retry budget is
+  exhausted; the job lands in the dead-letter ledger with its full
+  transition history.
+
+``DONE``, ``FAILED``, and ``SHED`` are terminal: the conservation
+invariant (every submitted job in exactly one terminal state once the
+plane drains) is what the flagship scenario's tests assert.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class SloClass(enum.IntEnum):
+    """Priority classes, most critical first (live > upload > batch)."""
+
+    LIVE = 0
+    UPLOAD = 1
+    BATCH = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Classes in admission-priority order (dispatch serves LIVE first).
+CLASS_ORDER: Tuple[SloClass, ...] = (SloClass.LIVE, SloClass.UPLOAD, SloClass.BATCH)
+#: Classes in shedding order (overload drops BATCH first, LIVE last).
+SHED_ORDER: Tuple[SloClass, ...] = (SloClass.BATCH, SloClass.UPLOAD, SloClass.LIVE)
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    ADMITTED = "admitted"
+    RUNNING = "running"
+    RETRY_WAIT = "retry_wait"
+    DONE = "done"
+    FAILED = "failed"
+    SHED = "shed"
+
+
+#: The only states a job may rest in when the plane is fully drained.
+TERMINAL_STATES = frozenset((JobState.DONE, JobState.FAILED, JobState.SHED))
+
+#: Legal transitions; anything else raises at the choke point.
+LEGAL_TRANSITIONS: Dict[JobState, Tuple[JobState, ...]] = {
+    JobState.QUEUED: (JobState.ADMITTED, JobState.SHED),
+    JobState.ADMITTED: (JobState.RUNNING, JobState.QUEUED, JobState.SHED),
+    JobState.RUNNING: (JobState.DONE, JobState.RETRY_WAIT, JobState.FAILED),
+    JobState.RETRY_WAIT: (JobState.QUEUED, JobState.FAILED),
+    JobState.DONE: (),
+    JobState.FAILED: (),
+    JobState.SHED: (),
+}
+
+
+class IllegalTransition(RuntimeError):
+    """An attempted state hop the lifecycle diagram does not allow."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One unit of demand as the workload generators produce it."""
+
+    job_id: str
+    slo_class: SloClass
+    #: Abstract map coordinates of the submitter (drives routing).
+    origin: Tuple[float, float]
+    arrival_time: float
+    #: Modelled service time on one site slot, in sim seconds.
+    service_seconds: float
+    #: Output volume, for throughput-flavoured accounting.
+    megapixels: float = 0.0
+
+
+@dataclass(eq=False)
+class Job:
+    """One job's live lifecycle record (identity semantics, like Step)."""
+
+    request: JobRequest
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    #: Name of the site currently responsible for the job, if any.
+    site: Optional[str] = None
+    #: Full (time, state) history, starting with the QUEUED entry.
+    history: List[Tuple[float, JobState]] = field(default_factory=list)
+    #: Cumulative seconds spent waiting (QUEUED + ADMITTED states).
+    queue_seconds: float = 0.0
+    #: Cumulative seconds spent in retry backoff.
+    retry_wait_seconds: float = 0.0
+    _state_since: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.history:
+            self.history.append((self.request.arrival_time, self.state))
+            self._state_since = self.request.arrival_time
+
+    @property
+    def job_id(self) -> str:
+        return self.request.job_id
+
+    @property
+    def slo_class(self) -> SloClass:
+        return self.request.slo_class
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, to: JobState, at: float) -> None:
+        """The single legality-checked choke point for state changes."""
+        if to not in LEGAL_TRANSITIONS[self.state]:
+            raise IllegalTransition(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {to.value} at t={at}"
+            )
+        elapsed = at - self._state_since
+        if elapsed < 0:
+            raise ValueError(f"job {self.job_id}: time moved backwards")
+        if self.state in (JobState.QUEUED, JobState.ADMITTED):
+            self.queue_seconds += elapsed
+        elif self.state is JobState.RETRY_WAIT:
+            self.retry_wait_seconds += elapsed
+        self.state = to
+        self._state_since = at
+        self.history.append((at, to))
+
+    def completed_at(self) -> Optional[float]:
+        """Time of the terminal transition, ``None`` while in flight."""
+        if not self.terminal:
+            return None
+        return self.history[-1][0]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with *deterministic* exponential backoff.
+
+    Unlike the cluster's jittered :class:`~repro.failures.watchdog.
+    BackoffPolicy`, the control plane's backoff is a pure function of the
+    attempt number: the durable ledger must replay byte-identically at
+    any executor parallelism, so no RNG stream may be consumed here.
+    """
+
+    base_delay_seconds: float = 2.0
+    multiplier: float = 2.0
+    max_delay_seconds: float = 120.0
+    #: Total attempts a job may consume before dead-lettering.
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.base_delay_seconds < 0:
+            raise ValueError("base_delay_seconds must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1`` (attempt >= 1)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        return min(
+            self.max_delay_seconds,
+            self.base_delay_seconds * self.multiplier ** (attempt - 1),
+        )
+
+    def exhausted(self, attempts: int) -> bool:
+        return attempts >= self.max_attempts

@@ -119,6 +119,41 @@ class FaultInjector:
             for index, vcu in enumerate(vcus)
         ]
 
+    def regional_outage(
+        self,
+        at_time: float,
+        hosts: Sequence[VcuHost],
+        duration: float,
+        stagger_seconds: float = 0.0,
+    ) -> List[FaultEvent]:
+        """Take a whole region's hosts down for ``duration`` seconds.
+
+        The regional analogue of :meth:`correlated_hangs`: every VCU on
+        every listed host wedges (a power/network event at data-center
+        scale), then clears once the outage lifts.  ``stagger_seconds``
+        spaces the per-host onsets -- a real regional event rolls across
+        rows, it does not hit every chassis in the same microsecond.
+        All hangs clear together at ``at_time + duration``: recovery is
+        a single restoration event, not a rolling one.
+        """
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        if not hosts:
+            raise ValueError("regional outage needs at least one host")
+        events: List[FaultEvent] = []
+        clear_at = at_time + duration
+        for host_index, host in enumerate(hosts):
+            onset = at_time + host_index * stagger_seconds
+            if onset >= clear_at:
+                raise ValueError("stagger pushes a host past the outage end")
+            for vcu in host.vcus:
+                event = FaultEvent(at_time=onset, vcu_id=vcu.vcu_id, kind="hang")
+                self.injected.append(event)
+                self.sim.call_at(onset, vcu.mark_hung)
+                self.sim.call_at(clear_at, vcu.clear_hang)
+                events.append(event)
+        return events
+
     # ------------------------------------------------------------------ #
     # Random (Poisson) fleet-wide injection
 

@@ -137,6 +137,28 @@ class Histogram:
         self.total += 1
         self.sum += value
 
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1).
+
+        Returns the smallest bucket bound whose cumulative count covers
+        ``q`` of the observations.  Observations in the overflow bucket
+        report the largest finite bound (the histogram cannot resolve
+        beyond it); an empty histogram reports 0.0.  Bucket-resolution
+        quantiles are coarse but deterministic and mergeable -- exactly
+        what the SLO scorecards need.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile requires 0 < q <= 1")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            if running >= target:
+                return bound
+        return self.bounds[-1]
+
     def cumulative(self) -> List[int]:
         """Cumulative counts per bucket (a monotone CDF in counts)."""
         out: List[int] = []

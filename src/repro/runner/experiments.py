@@ -33,6 +33,11 @@ FIG9_SEED = 5
 FIG9_HORIZON_SECONDS = 80.0
 FIG9_BASE_VCU_WORKERS = 6
 
+#: Global-platform-day settings (the control-plane flagship scenario).
+PLATFORM_DAY_SEED = 11
+PLATFORM_DAY_SECONDS = 3600.0
+PLATFORM_DAY_SMOKE_SECONDS = 900.0
+
 
 def default_registry() -> ExperimentRegistry:
     """The process-wide registry of paper experiments."""
@@ -287,6 +292,65 @@ def _table2_summarize(results: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]
                 "paper_dram_gbps": None if paper is None else paper[1],
             })
     return rows
+
+
+# --------------------------------------------------------------------- #
+# Global platform day -- the control plane's flagship robustness scenario
+
+
+def _platform_day_summarize(
+    results: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for result in sorted(results, key=lambda r: r["outage"]):
+        card = result["scorecard"]
+        rows.append({
+            "outage": result["outage"],
+            "submitted": card["jobs.submitted"],
+            "done": card["jobs.done"],
+            "shed_batch": card["class.batch.shed"],
+            "shed_upload": card["class.upload.shed"],
+            "shed_live": card["class.live.shed"],
+            "failover_routed": card["failover.routed"],
+            "autoscale_actions": card["autoscale.actions"],
+            "live_completion": card["class.live.completion_rate"],
+            "conservation_ok": card["conservation.ok"],
+        })
+    return rows
+
+
+@_DEFAULT.experiment(
+    name="platform-day",
+    title="Global platform day — SLO scorecard under a regional outage",
+    grid=[
+        {"outage": False, "day_seconds": PLATFORM_DAY_SECONDS,
+         "scenario_seed": PLATFORM_DAY_SEED},
+        {"outage": True, "day_seconds": PLATFORM_DAY_SECONDS,
+         "scenario_seed": PLATFORM_DAY_SEED},
+    ],
+    smoke_grid=[
+        {"outage": False, "day_seconds": PLATFORM_DAY_SMOKE_SECONDS,
+         "scenario_seed": PLATFORM_DAY_SEED},
+        {"outage": True, "day_seconds": PLATFORM_DAY_SMOKE_SECONDS,
+         "scenario_seed": PLATFORM_DAY_SEED},
+    ],
+    seed=PLATFORM_DAY_SEED,
+    schema=ResultSchema(version=1, fields=("outage", "scorecard")),
+    summarize=_platform_day_summarize,
+    sources=("repro.control.scenario",),
+)
+def platform_day_unit(ctx: UnitContext) -> Dict[str, Any]:
+    from repro.control.scenario import ScenarioConfig, run_global_platform_day
+
+    config = ScenarioConfig(
+        day_seconds=ctx.params["day_seconds"],
+        outage=ctx.params["outage"],
+    )
+    result = run_global_platform_day(config, seed=ctx.params["scenario_seed"])
+    return {
+        "outage": ctx.params["outage"],
+        "scorecard": result.scorecard,
+    }
 
 
 @_DEFAULT.experiment(

@@ -1,0 +1,191 @@
+"""The global platform's day of demand: uploads, live, and batch jobs.
+
+Where :mod:`repro.workloads.upload` produces step-graph-level arrivals
+for one cluster, this module produces *control-plane* demand: a merged,
+time-ordered stream of :class:`~repro.control.jobs.JobRequest` records
+covering the three SLO classes across a (configurable-length) diurnal
+cycle:
+
+* **live** -- short real-time transcode legs; rate follows the diurnal
+  envelope with an evening phase shift (live peaks later than uploads);
+* **upload** -- the bread-and-butter VOD ingest; diurnal, daytime peak;
+* **batch** -- re-encodes of popular backlog (the paper's
+  popularity-driven second pass); a flat trickle that admission sheds
+  first under pressure.
+
+Arrival processes are Poisson with thinning against the diurnal
+envelope (same method as :class:`~repro.workloads.upload.
+UploadGenerator`); every class draws from its own split RNG stream so
+changing one class's rate never perturbs another's arrivals.
+``day_seconds`` compresses the 24-hour cycle so a scaled scenario still
+sees a full diurnal swing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.rng import SeedLike, split_rng
+
+if TYPE_CHECKING:  # deferred: repro.control's scenario imports us back
+    from repro.control.jobs import JobRequest
+
+#: Population centres demand originates from (abstract map coordinates,
+#: chosen near the default site layout) and their traffic weights.
+DEFAULT_ORIGIN_CENTRES: Tuple[Tuple[float, float], ...] = (
+    (2.0, 1.0), (38.0, -2.0), (88.0, 12.0), (158.0, -8.0),
+)
+DEFAULT_ORIGIN_WEIGHTS: Tuple[float, ...] = (0.35, 0.25, 0.25, 0.15)
+
+
+@dataclass(frozen=True)
+class PlatformDayConfig:
+    """Shape of one simulated platform day."""
+
+    #: Length of the full diurnal cycle in sim seconds (86400 = real day).
+    day_seconds: float = 86400.0
+    #: Mean arrivals/second per class (peak = mean * (1 + amplitude)).
+    upload_rate: float = 1.0
+    live_rate: float = 0.35
+    batch_rate: float = 0.25
+    diurnal_amplitude: float = 0.5
+    #: Phase lag of the live peak behind the upload peak, as a fraction
+    #: of the day (0.25 = live peaks a quarter-day later).
+    live_phase_lag: float = 0.25
+    #: Mean modelled service seconds per class.
+    upload_service_mean: float = 60.0
+    live_service_seconds: float = 30.0
+    batch_service_mean: float = 150.0
+    origin_centres: Tuple[Tuple[float, float], ...] = DEFAULT_ORIGIN_CENTRES
+    origin_weights: Tuple[float, ...] = DEFAULT_ORIGIN_WEIGHTS
+    origin_scatter: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.day_seconds <= 0:
+            raise ValueError("day_seconds must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if len(self.origin_centres) != len(self.origin_weights):
+            raise ValueError("origin centres and weights must pair up")
+        total = sum(self.origin_weights)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"origin weights must sum to 1, got {total}")
+
+
+class PlatformDayWorkload:
+    """Deterministic demand stream for the global-platform-day scenario."""
+
+    def __init__(self, config: PlatformDayConfig, seed: SeedLike = 0) -> None:
+        self.config = config
+        self._seed = seed
+
+    def _envelope(self, t: float, phase_frac: float) -> float:
+        """Diurnal factor in [1-A, 1+A] at time ``t``."""
+        day = self.config.day_seconds
+        phase = 2 * math.pi * ((t / day) - phase_frac)
+        return 1.0 + self.config.diurnal_amplitude * math.sin(phase)
+
+    def _origin(self, rng: np.random.Generator) -> Tuple[float, float]:
+        centres = self.config.origin_centres
+        weights = np.array(self.config.origin_weights)
+        cx, cy = centres[int(rng.choice(len(centres), p=weights))]
+        scatter = self.config.origin_scatter
+        return (
+            cx + float(rng.normal(0.0, scatter)),
+            cy + float(rng.normal(0.0, scatter)),
+        )
+
+    def _arrivals(
+        self,
+        rng: np.random.Generator,
+        rate: float,
+        until: float,
+        phase_frac: float,
+        diurnal: bool,
+    ) -> Iterator[float]:
+        """Poisson arrivals, thinned against the diurnal envelope."""
+        if rate <= 0:
+            return
+        peak = rate * (1.0 + (self.config.diurnal_amplitude if diurnal else 0.0))
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / peak))
+            if t >= until:
+                return
+            if diurnal:
+                accept = self._envelope(t, phase_frac) / (
+                    1.0 + self.config.diurnal_amplitude
+                )
+                if rng.random() > accept:
+                    continue
+            yield t
+
+    def requests(self, until: float) -> List[JobRequest]:
+        """All arrivals before ``until``, merged and time-ordered.
+
+        Each class consumes its own split stream, so the merge order is
+        a pure function of the seed and rates; the final sort key is
+        (arrival, class, id) -- fully deterministic.
+        """
+        # Imported here, not at module top: repro.control.scenario
+        # imports this module, so a top-level import would be circular.
+        from repro.control.jobs import JobRequest, SloClass
+
+        config = self.config
+        out: List[JobRequest] = []
+
+        rng = split_rng(self._seed, "platform/upload")
+        for index, t in enumerate(
+            self._arrivals(rng, config.upload_rate, until, 0.25, diurnal=True)
+        ):
+            service = 10.0 + float(rng.exponential(config.upload_service_mean))
+            out.append(JobRequest(
+                job_id=f"up-{index + 1}",
+                slo_class=SloClass.UPLOAD,
+                origin=self._origin(rng),
+                arrival_time=t,
+                service_seconds=service,
+                megapixels=service * 50.0,
+            ))
+
+        rng = split_rng(self._seed, "platform/live")
+        lag = 0.25 + config.live_phase_lag
+        for index, t in enumerate(
+            self._arrivals(rng, config.live_rate, until, lag, diurnal=True)
+        ):
+            out.append(JobRequest(
+                job_id=f"live-{index + 1}",
+                slo_class=SloClass.LIVE,
+                origin=self._origin(rng),
+                arrival_time=t,
+                service_seconds=config.live_service_seconds,
+                megapixels=config.live_service_seconds * 124.0,
+            ))
+
+        rng = split_rng(self._seed, "platform/batch")
+        for index, t in enumerate(
+            self._arrivals(rng, config.batch_rate, until, 0.0, diurnal=False)
+        ):
+            service = 30.0 + float(rng.exponential(config.batch_service_mean))
+            out.append(JobRequest(
+                job_id=f"batch-{index + 1}",
+                slo_class=SloClass.BATCH,
+                origin=self._origin(rng),
+                arrival_time=t,
+                service_seconds=service,
+                megapixels=service * 80.0,
+            ))
+
+        out.sort(key=lambda r: (r.arrival_time, r.slo_class, r.job_id))
+        return out
+
+
+def offered_load(requests: Sequence[JobRequest], horizon: float) -> float:
+    """Average slot demand implied by a request list (sanity metric)."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    return sum(r.service_seconds for r in requests) / horizon

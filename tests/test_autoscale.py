@@ -1,8 +1,13 @@
-"""Tests for the pool autoscaler."""
+"""Tests for the pool autoscaler and the site-capacity autoscaler."""
 
 import pytest
 
-from repro.cluster.autoscale import AutoscaleConfig, Autoscaler
+from repro.cluster.autoscale import (
+    AutoscaleConfig,
+    Autoscaler,
+    CapacityAutoscaleConfig,
+    CapacityAutoscaler,
+)
 from repro.cluster.pool import Pool, PoolKey, Priority, UseCase
 from repro.cluster.worker import VcuWorker
 from repro.vcu.chip import Vcu
@@ -70,3 +75,57 @@ class TestAutoscaler:
     def test_requires_pools(self):
         with pytest.raises(ValueError):
             Autoscaler({})
+
+
+class TestCapacityAutoscaler:
+    def evaluate(self, scaler, waiting, running, slots, at=0.0):
+        return scaler.evaluate(
+            "site", waiting=waiting, running=running, slots=slots,
+            min_slots=2, max_slots=16, at=at,
+        )
+
+    def test_scales_up_under_backlog(self):
+        scaler = CapacityAutoscaler(CapacityAutoscaleConfig(step_slots=4))
+        assert self.evaluate(scaler, waiting=20, running=4, slots=4) == 8
+        assert scaler.actions == 1
+        action = scaler.history[0]
+        assert (action.old_slots, action.new_slots) == (4, 8)
+
+    def test_scale_up_clamped_to_max(self):
+        scaler = CapacityAutoscaler(CapacityAutoscaleConfig(step_slots=8))
+        assert self.evaluate(scaler, waiting=100, running=12, slots=12) == 16
+
+    def test_busy_fleet_without_backlog_holds(self):
+        # A fleet keeping up has near-zero waiting but busy slots;
+        # occupancy-based scale-down must not shrink it into overload.
+        scaler = CapacityAutoscaler()
+        assert self.evaluate(scaler, waiting=0, running=8, slots=8) == 8
+        assert scaler.actions == 0
+
+    def test_idle_fleet_scales_down(self):
+        scaler = CapacityAutoscaler(CapacityAutoscaleConfig(step_slots=4))
+        assert self.evaluate(scaler, waiting=0, running=1, slots=12) == 8
+
+    def test_scale_down_floors_at_running_and_min(self):
+        scaler = CapacityAutoscaler(CapacityAutoscaleConfig(step_slots=16))
+        # Slots in use cannot be reclaimed mid-job: floor at running=3.
+        assert self.evaluate(scaler, waiting=0, running=3, slots=16) == 3
+        # With nothing running, the floor is min_slots.
+        assert self.evaluate(scaler, waiting=0, running=0, slots=8) == 2
+
+    def test_inside_band_is_a_no_op(self):
+        scaler = CapacityAutoscaler()
+        assert self.evaluate(scaler, waiting=4, running=4, slots=4) == 4
+        assert scaler.history == []
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            self.evaluate(CapacityAutoscaler(), waiting=0, running=0, slots=0)
+
+    def test_hysteresis_band_validated(self):
+        with pytest.raises(ValueError):
+            CapacityAutoscaleConfig(
+                scale_up_pressure=1.0, scale_down_pressure=1.0
+            )
+        with pytest.raises(ValueError):
+            CapacityAutoscaleConfig(step_slots=0)

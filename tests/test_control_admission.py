@@ -1,0 +1,114 @@
+"""Tests for SLO admission control and class-ordered shedding."""
+
+import pytest
+
+from repro.control.admission import AdmissionConfig, AdmissionController
+from repro.control.jobs import Job, JobRequest, SloClass
+from repro.control.queue import ClassQueue
+
+
+def make_job(job_id, cls):
+    return Job(JobRequest(
+        job_id=job_id, slo_class=cls, origin=(0.0, 0.0),
+        arrival_time=0.0, service_seconds=10.0,
+    ))
+
+
+class TestConfig:
+    def test_defaults_are_class_ordered(self):
+        config = AdmissionConfig()
+        assert (config.batch_ceiling < config.upload_ceiling
+                < config.live_ceiling)
+
+    def test_misordered_ceilings_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(live_ceiling=1.0, upload_ceiling=2.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(batch_ceiling=0.0)
+
+    def test_ceiling_for(self):
+        config = AdmissionConfig(live_ceiling=8, upload_ceiling=4,
+                                 batch_ceiling=2)
+        assert config.ceiling_for(SloClass.LIVE) == 8
+        assert config.ceiling_for(SloClass.UPLOAD) == 4
+        assert config.ceiling_for(SloClass.BATCH) == 2
+
+
+class TestDecide:
+    def test_load_factor(self):
+        assert AdmissionController.load_factor(30, 20) == 1.5
+        assert AdmissionController.load_factor(5, 0) == float("inf")
+
+    def test_admits_below_ceiling_sheds_at_it(self):
+        ctrl = AdmissionController(AdmissionConfig(batch_ceiling=1.5))
+        batch = make_job("b", SloClass.BATCH)
+        assert ctrl.decide(batch, 1.49)
+        assert not ctrl.decide(batch, 1.5)
+        assert ctrl.admitted[SloClass.BATCH] == 1
+        assert ctrl.shed[SloClass.BATCH] == 1
+
+    def test_classes_shed_in_strict_order(self):
+        ctrl = AdmissionController()
+        live = make_job("l", SloClass.LIVE)
+        upload = make_job("u", SloClass.UPLOAD)
+        batch = make_job("b", SloClass.BATCH)
+        # At 2x load: batch sheds, upload and live still admitted.
+        assert not ctrl.decide(batch, 2.0)
+        assert ctrl.decide(upload, 2.0)
+        assert ctrl.decide(live, 2.0)
+        # At 5x: only live survives.
+        assert not ctrl.decide(upload, 5.0)
+        assert ctrl.decide(live, 5.0)
+
+
+class TestShedExcess:
+    def _overloaded(self, batch=6, upload=2, live=2):
+        """A queue holding ``batch+upload+live`` jobs against 2 slots."""
+        queue = ClassQueue()
+        jobs = []
+        for cls, count in ((SloClass.BATCH, batch), (SloClass.UPLOAD, upload),
+                           (SloClass.LIVE, live)):
+            for i in range(count):
+                job = make_job(f"{cls.label}{i}", cls)
+                jobs.append(job)
+                queue.push(job)
+        return queue, jobs
+
+    def test_sheds_batch_before_upload_before_live(self):
+        ctrl = AdmissionController(AdmissionConfig(
+            live_ceiling=8.0, upload_ceiling=2.0, batch_ceiling=1.5,
+        ))
+        queue, _ = self._overloaded(batch=6, upload=4, live=2)
+        capacity = 2
+        shed = ctrl.shed_excess([queue], lambda: len(queue), capacity)
+        # 12 jobs / 2 slots = 6.0: all batch goes first (still 3.0 after),
+        # then upload trims until the load fits under its 2.0 ceiling.
+        classes = [job.slo_class for job in shed]
+        assert SloClass.LIVE not in classes
+        assert SloClass.UPLOAD in classes
+        first_upload = classes.index(SloClass.UPLOAD)
+        assert all(c is SloClass.BATCH for c in classes[:first_upload])
+        assert all(c is SloClass.UPLOAD for c in classes[first_upload:])
+        assert queue.depth(SloClass.BATCH) == 0
+        assert len(queue) / capacity < 2.0
+        assert queue.depth(SloClass.LIVE) == 2  # live untouched
+
+    def test_round_robins_across_queues(self):
+        ctrl = AdmissionController(AdmissionConfig(batch_ceiling=1.0))
+        q1, _ = self._overloaded(batch=3, upload=0, live=0)
+        q2, _ = self._overloaded(batch=3, upload=0, live=0)
+        total = lambda: len(q1) + len(q2)
+        shed = ctrl.shed_excess([q1, q2], total, 2)
+        assert len(shed) == 5  # 6 -> 1 job: 0.5 < 1.0 ceiling
+        assert abs(len(q1) - len(q2)) <= 1  # fairness across queues
+
+    def test_blackout_parks_instead_of_shedding(self):
+        ctrl = AdmissionController()
+        queue, _ = self._overloaded()
+        assert ctrl.shed_excess([queue], lambda: len(queue), 0) == []
+        assert len(queue) == 10  # untouched
+
+    def test_no_shedding_when_load_fits(self):
+        ctrl = AdmissionController()
+        queue, _ = self._overloaded(batch=1, upload=0, live=0)
+        assert ctrl.shed_excess([queue], lambda: len(queue), 100) == []

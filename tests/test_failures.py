@@ -134,6 +134,49 @@ class TestFaultInjector:
         assert injector.random_corruptions(0.0, until=100) == []
 
 
+class TestRegionalOutage:
+    def _fleet(self, n_hosts=3):
+        sim = Simulator()
+        hosts = [VcuHost(host_id=f"ro-{i}") for i in range(n_hosts)]
+        vcus = [vcu for host in hosts for vcu in host.vcus]
+        return sim, hosts, FaultInjector(sim, vcus)
+
+    def test_every_vcu_wedges_then_clears_together(self):
+        sim, hosts, injector = self._fleet()
+        events = injector.regional_outage(10.0, hosts, duration=50.0)
+        assert len(events) == sum(len(h.vcus) for h in hosts)
+        assert all(e.kind == "hang" for e in events)
+        sim.run(until=9.0)
+        assert not any(v.hung for h in hosts for v in h.vcus)
+        sim.run(until=30.0)
+        assert all(v.hung for h in hosts for v in h.vcus)
+        sim.run()  # outage lifts at t=60: a single restoration event
+        assert sim.now == pytest.approx(60.0)
+        assert not any(v.hung for h in hosts for v in h.vcus)
+
+    def test_stagger_rolls_across_hosts(self):
+        sim, hosts, injector = self._fleet()
+        injector.regional_outage(0.0, hosts, duration=100.0,
+                                 stagger_seconds=10.0)
+        sim.run(until=15.0)  # host 0 (t=0) and host 1 (t=10) hit, not host 2
+        assert all(v.hung for v in hosts[0].vcus)
+        assert all(v.hung for v in hosts[1].vcus)
+        assert not any(v.hung for v in hosts[2].vcus)
+        sim.run()
+        assert not any(v.hung for h in hosts for v in h.vcus)
+
+    def test_validation(self):
+        sim, hosts, injector = self._fleet()
+        with pytest.raises(ValueError):
+            injector.regional_outage(0.0, hosts, duration=0.0)
+        with pytest.raises(ValueError):
+            injector.regional_outage(0.0, [], duration=10.0)
+        with pytest.raises(ValueError):
+            # Third host would come up at t=20, after the t=15 clear.
+            injector.regional_outage(0.0, hosts, duration=15.0,
+                                     stagger_seconds=10.0)
+
+
 class TestFleetManagement:
     def test_sweep_disables_and_queues_repair(self):
         hosts = [VcuHost() for _ in range(2)]

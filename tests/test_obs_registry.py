@@ -83,6 +83,36 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", bounds=(2.0, 1.0))
 
+    def test_quantile_returns_bucket_upper_bound(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0):
+            hist.observe(value)
+        # Counts [2, 2, 4]: p25 lands in <=1, p50 in <=2, p99 in <=4.
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.50) == 2.0
+        assert hist.quantile(0.99) == 4.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_quantile_overflow_reports_last_finite_bound(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        for _ in range(9):
+            hist.observe(50.0)  # overflow bucket
+        assert hist.quantile(0.05) == 1.0
+        # The top of the distribution is beyond the finite bounds; the
+        # best the histogram can say is "at least the last bound".
+        assert hist.quantile(0.99) == 2.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram("h", bounds=(1.0,)).quantile(0.5) == 0.0
+
+    def test_quantile_validates_q(self):
+        hist = Histogram("h", bounds=(1.0,))
+        with pytest.raises(ValueError):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
 
 class TestUtilizationTracker:
     def test_lives_in_obs_and_is_reexported_by_cluster_metrics(self):

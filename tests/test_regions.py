@@ -32,10 +32,17 @@ class TestRouting:
     def test_rejects_when_everything_full(self):
         scheduler = GlobalScheduler(make_sites())
         for _ in range(6):
-            assert scheduler.route((0.0, 0.0)).cluster is not None
+            served = scheduler.route((0.0, 0.0))
+            assert served.cluster is not None
+            assert not served.rejected
         decision = scheduler.route((0.0, 0.0))
         assert decision.cluster is None
+        assert decision.rejected
+        # A full-fleet rejection is not a spill: nothing was served.
+        assert not decision.spilled
+        assert decision.distance == float("inf")
         assert scheduler.reject_count == 1
+        assert scheduler.spill_count == 4  # only the genuinely served spills
 
     def test_finish_frees_capacity(self):
         scheduler = GlobalScheduler(make_sites())
@@ -58,6 +65,35 @@ class TestRouting:
     def test_empty_sites_rejected(self):
         with pytest.raises(ValueError):
             GlobalScheduler([])
+
+
+class TestSiteAvailability:
+    def test_down_site_never_admits(self):
+        scheduler = GlobalScheduler(make_sites())
+        scheduler.set_site_up("us-west", False)
+        decision = scheduler.route((0.0, 0.0))
+        assert decision.cluster.name == "us-east"
+        assert decision.spilled  # served, just not by the nearest site
+        site = next(s for s in scheduler.sites if s.name == "us-west")
+        assert site.in_flight == 0 and not site.admit()
+
+    def test_fleet_wide_outage_rejects(self):
+        scheduler = GlobalScheduler(make_sites())
+        for site in scheduler.sites:
+            scheduler.set_site_up(site.name, False)
+        decision = scheduler.route((0.0, 0.0))
+        assert decision.rejected and decision.cluster is None
+
+    def test_recovered_site_admits_again(self):
+        scheduler = GlobalScheduler(make_sites())
+        site = scheduler.set_site_up("us-west", False)
+        assert not site.up
+        scheduler.set_site_up("us-west", True)
+        assert scheduler.route((0.0, 0.0)).cluster.name == "us-west"
+
+    def test_unknown_site_raises(self):
+        with pytest.raises(KeyError):
+            GlobalScheduler(make_sites()).set_site_up("mars", True)
 
 
 class TestRegionalBalance:

@@ -141,3 +141,70 @@ class TestGaming:
         hard = gaming_latency_ms(GamingSession("2160p"), use_vcu=False)
         easy = gaming_latency_ms(GamingSession("720p"), use_vcu=False)
         assert easy < hard
+
+
+class TestPlatformDay:
+    def test_same_seed_same_stream(self):
+        from repro.workloads.platform import PlatformDayConfig, PlatformDayWorkload
+
+        config = PlatformDayConfig(day_seconds=600.0)
+        a = PlatformDayWorkload(config, seed=5).requests(until=600.0)
+        b = PlatformDayWorkload(config, seed=5).requests(until=600.0)
+        assert a == b
+        assert a != PlatformDayWorkload(config, seed=6).requests(until=600.0)
+
+    def test_stream_is_time_ordered_with_all_classes(self):
+        from repro.control.jobs import SloClass
+        from repro.workloads.platform import PlatformDayConfig, PlatformDayWorkload
+
+        workload = PlatformDayWorkload(
+            PlatformDayConfig(day_seconds=1200.0), seed=5
+        )
+        requests = workload.requests(until=1200.0)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        assert all(0 <= t < 1200.0 for t in times)
+        classes = {r.slo_class for r in requests}
+        assert classes == {SloClass.LIVE, SloClass.UPLOAD, SloClass.BATCH}
+        # Job ids are unique across the merged stream.
+        assert len({r.job_id for r in requests}) == len(requests)
+
+    def test_diurnal_envelope_moves_arrival_mass(self):
+        from repro.control.jobs import SloClass
+        from repro.workloads.platform import PlatformDayConfig, PlatformDayWorkload
+
+        day = 43200.0
+        workload = PlatformDayWorkload(
+            PlatformDayConfig(day_seconds=day, diurnal_amplitude=0.9), seed=5
+        )
+        uploads = [r for r in workload.requests(until=day)
+                   if r.slo_class is SloClass.UPLOAD]
+        # Upload phase peaks at day/2 and troughs at the day edges.
+        peak_half = [r for r in uploads if day / 4 <= r.arrival_time < 3 * day / 4]
+        assert len(peak_half) > 1.5 * (len(uploads) - len(peak_half))
+
+    def test_offered_load_sanity(self):
+        from repro.workloads.platform import (
+            PlatformDayConfig,
+            PlatformDayWorkload,
+            offered_load,
+        )
+
+        config = PlatformDayConfig(day_seconds=3600.0)
+        requests = PlatformDayWorkload(config, seed=11).requests(until=3600.0)
+        load = offered_load(requests, 3600.0)
+        assert 60.0 < load < 250.0  # slot-equivalents, matches fleet sizing
+        with pytest.raises(ValueError):
+            offered_load(requests, 0.0)
+
+    def test_config_validation(self):
+        from repro.workloads.platform import PlatformDayConfig
+
+        with pytest.raises(ValueError):
+            PlatformDayConfig(day_seconds=0.0)
+        with pytest.raises(ValueError):
+            PlatformDayConfig(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            PlatformDayConfig(origin_weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            PlatformDayConfig(origin_weights=(0.4, 0.3, 0.2, 0.2))
