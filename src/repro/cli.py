@@ -244,6 +244,28 @@ def _cmd_platform(args: argparse.Namespace) -> int:
     return 0 if result.scorecard["conservation.ok"] else 1
 
 
+def _cmd_ladder(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.control.live_ladder import LiveLadderConfig, run_live_ladder
+
+    config = LiveLadderConfig(
+        horizon_seconds=args.horizon_seconds,
+        outage=not args.no_outage,
+        hang_rate_per_hour=args.hang_rate,
+        corruption_rate_per_hour=args.corruption_rate,
+    )
+    result = run_live_ladder(config, seed=args.seed)
+    if args.json:
+        print(json.dumps(result.scorecard, indent=2, sort_keys=True))
+    else:
+        print(f"live ladder: {config.horizon_seconds:g} s, "
+              f"outage={'on' if config.outage else 'off'}, seed={args.seed}")
+        for key, value in result.scorecard.items():
+            print(f"  {key:32s} {value}")
+    return 0 if result.scorecard["conservation.ok"] else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -371,6 +393,24 @@ def build_parser() -> argparse.ArgumentParser:
     platform.add_argument("--ledger", default=None, metavar="FILE",
                           help="also dump the job transition log as JSONL")
     platform.set_defaults(func=_cmd_platform)
+
+    ladder = sub.add_parser(
+        "ladder",
+        help="live streaming-ladder scenario (time-to-first-segment "
+             "latency scorecard)",
+    )
+    ladder.add_argument("--horizon-seconds", type=float, default=480.0,
+                        help="virtual seconds of demand to generate")
+    ladder.add_argument("--seed", type=int, default=13)
+    ladder.add_argument("--no-outage", action="store_true",
+                        help="skip the mid-run regional outage")
+    ladder.add_argument("--hang-rate", type=float, default=0.0,
+                        help="VCU hangs per VCU-hour")
+    ladder.add_argument("--corruption-rate", type=float, default=0.0,
+                        help="VCU corruptions per VCU-hour")
+    ladder.add_argument("--json", action="store_true",
+                        help="print the scorecard as JSON")
+    ladder.set_defaults(func=_cmd_ladder)
 
     lint = sub.add_parser(
         "lint", help="simulation-safety static analyzer (repro.analysis)"

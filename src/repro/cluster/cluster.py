@@ -35,6 +35,7 @@ from typing import (
 import numpy as np
 
 from repro import obs
+from repro.obs.latency import LadderMetrics
 from repro.cluster.health import HealthState
 from repro.cluster.metrics import ThroughputWindow, UtilizationTracker
 from repro.cluster.scheduler import BinPackingScheduler, SingleSlotScheduler
@@ -65,6 +66,9 @@ class ClusterStats:
     failed_placements: int = 0
     retries: int = 0
     software_fallbacks: int = 0
+    #: Subset of software_fallbacks taken eagerly by streaming-ladder low
+    #: rungs while hardware was merely busy (not exhausted).
+    opportunistic_fallbacks: int = 0
     corrupt_caught: int = 0
     corrupt_escaped: int = 0
     completed_graphs: int = 0
@@ -92,6 +96,7 @@ class ClusterStats:
             "failed_placements": self.failed_placements,
             "retries": self.retries,
             "software_fallbacks": self.software_fallbacks,
+            "opportunistic_fallbacks": self.opportunistic_fallbacks,
             "corrupt_caught": self.corrupt_caught,
             "corrupt_escaped": self.corrupt_escaped,
             "completed_graphs": self.completed_graphs,
@@ -159,6 +164,12 @@ class TranscodeCluster:
         #: control plane uses this to close the job-lifecycle loop when a
         #: :class:`~repro.control.plane.ClusterExecutor` backs a site.
         self.on_graph_done = on_graph_done
+        #: Invoked once per completed step (streaming-ladder sessions use
+        #: this to drive manifest alignment barriers); set post-construction
+        #: by :class:`~repro.transcode.streaming.LadderDispatcher`.
+        self.on_step_done: Optional[Callable[[Step, bool], None]] = None
+        #: When set, segment steps record per-rung queue waits here.
+        self.ladder_metrics: Optional[LadderMetrics] = None
         self.stats = ClusterStats(throughput=ThroughputWindow(start_time=sim.now))
         # When an observability hub is installed, bind it to this run's
         # virtual clock (and the engine's active-process context) so
@@ -223,6 +234,7 @@ class TranscodeCluster:
     # Placement
 
     def _enqueue(self, step: Step, excluded: Set[str]) -> None:
+        step.ready_at = self.sim.now
         if not self._try_place(step, excluded):
             self._pending.append((step, excluded))
 
@@ -233,11 +245,16 @@ class TranscodeCluster:
         # again.  Hardware-decode and software-decode transcodes have
         # different shapes (millidecode vs host_decode), hence the lanes.
         still_waiting: Deque[Tuple[Step, Set[str]]] = deque()
-        blocked = {"hw": False, "hw_swdec": False, "cpu": False}
+        blocked = {"hw": False, "hw_swdec": False, "hw_opp": False, "cpu": False}
         while self._pending:
             step, excluded = self._pending.popleft()
             if step.is_transcode() and not step.software_only:
-                lane = "hw_swdec" if step.vcu_task.software_decode else "hw"
+                # Opportunistic ladder rungs can land on either pool, so a
+                # blocked hw lane must not starve them (and vice versa).
+                if step.fallback_opportunistic:
+                    lane = "hw_opp"
+                else:
+                    lane = "hw_swdec" if step.vcu_task.software_decode else "hw"
             else:
                 lane = "cpu"
             if blocked[lane]:
@@ -284,27 +301,44 @@ class TranscodeCluster:
             if worker is not None:
                 self._start_vcu_step(step, worker, request, excluded)
                 return True
+            if step.fallback_opportunistic:
+                # Streaming-ladder low rungs: when every hardware slot is
+                # busy, a CPU encode *now* beats a VCU encode later --
+                # the rung is cheap and the manifest barrier is waiting.
+                return self._try_software_fallback(step, opportunistic=True)
             return False  # wait for a VCU to free up
         if self.software_fallback and self.cpu_workers:
-            request = self.cpu_workers[0].request_for_transcode(task)
-            worker = self.cpu_scheduler.place(request)
-            if worker is not None:
-                self.stats.software_fallbacks += 1
-                hub = obs.active()
-                if hub is not None:
-                    hub.count("cluster.software_fallbacks")
-                    hub.emit(
-                        "fallback", step.step_id, t0=self.sim.now,
-                        attrs={"worker": worker.name, "attempt": step.attempts + 1},
-                    )
-                self._start_cpu_transcode(step, worker, request)
-                return True
-            return False  # wait for software-fallback capacity
+            return self._try_software_fallback(step, opportunistic=False)
         # No hardware path remains and no software fallback exists: a
         # genuine placement failure, not a wait-for-capacity event.
         self.stats.failed_placements += 1
         self._count("cluster.failed_placements")
         return False
+
+    def _try_software_fallback(self, step: Step, opportunistic: bool) -> bool:
+        if not (self.software_fallback and self.cpu_workers):
+            return False
+        request = self.cpu_workers[0].request_for_transcode(step.vcu_task)
+        worker = self.cpu_scheduler.place(request)
+        if worker is None:
+            return False  # wait for software-fallback capacity
+        self.stats.software_fallbacks += 1
+        if opportunistic:
+            self.stats.opportunistic_fallbacks += 1
+            if self.ladder_metrics is not None:
+                self.ladder_metrics.note_opportunistic_fallback()
+        hub = obs.active()
+        if hub is not None:
+            hub.count("cluster.software_fallbacks")
+            attrs: Dict[str, object] = {
+                "worker": worker.name, "attempt": step.attempts + 1,
+            }
+            if opportunistic:
+                hub.count("cluster.opportunistic_fallbacks")
+                attrs["opportunistic"] = True
+            hub.emit("fallback", step.step_id, t0=self.sim.now, attrs=attrs)
+        self._start_cpu_transcode(step, worker, request)
+        return True
 
     def _place_cpu(self, step: Step) -> bool:
         if not self.cpu_workers:
@@ -339,6 +373,7 @@ class TranscodeCluster:
         step.processed_by = worker.vcu.vcu_id
         duration = worker.step_seconds(step.vcu_task, request)
         started = self.sim.now
+        self._record_queue_wait(step)
         self._record_utilization()
 
         def execute() -> Generator:
@@ -375,6 +410,21 @@ class TranscodeCluster:
             self._drain_pending()
 
         self.sim.process(run(), name=f"vcu:{step.step_id}")
+
+    def _record_queue_wait(self, step: Step) -> None:
+        """Per-rung slot wait for segment steps (latency scorecard).
+
+        Gated on the dispatcher having installed :attr:`ladder_metrics`,
+        so legacy throughput runs -- including the golden obs drill --
+        are byte-for-byte unaffected.
+        """
+        if self.ladder_metrics is None or step.rung is None:
+            return
+        wait = self.sim.now - step.ready_at
+        self.ladder_metrics.observe_queue_wait(step.rung, wait)
+        hub = obs.active()
+        if hub is not None:
+            hub.observe(f"ladder.queue_wait.{step.rung}", wait)
 
     def _emit_step(
         self, step: Step, worker_name: str, pool: str, started: float, outcome: str
@@ -466,6 +516,7 @@ class TranscodeCluster:
         step.processed_by = worker.name
         duration = worker.transcode_seconds(step.vcu_task, request)
         started = self.sim.now
+        self._record_queue_wait(step)
 
         def run():
             yield duration
@@ -574,6 +625,8 @@ class TranscodeCluster:
             if step.processed_by:
                 per_vcu = self.stats.per_vcu_megapixels
                 per_vcu[step.processed_by] = per_vcu.get(step.processed_by, 0.0) + megapixels
+        if self.on_step_done is not None:
+            self.on_step_done(step, corrupt)
         for dependent in self._dependents.get(id(step), []):
             self._remaining_deps[id(dependent)] -= 1
             if self._remaining_deps[id(dependent)] == 0:

@@ -18,6 +18,10 @@ is that layer for the simulated fleet:
   it together over pluggable executors.
 * :mod:`repro.control.scenario` -- the flagship "global platform day"
   scenario and its SLO scorecard.
+* :mod:`repro.control.streaming` -- the segment-streaming executor that
+  turns LIVE/UPLOAD jobs into ladder stream sessions.
+* :mod:`repro.control.live_ladder` -- the "live ladder" scenario and its
+  time-to-first-segment latency scorecard.
 """
 
 from repro.control.admission import AdmissionConfig, AdmissionController
@@ -32,6 +36,11 @@ from repro.control.jobs import (
     JobState,
     RetryPolicy,
     SloClass,
+)
+from repro.control.live_ladder import (
+    LiveLadderConfig,
+    LiveLadderResult,
+    run_live_ladder,
 )
 from repro.control.plane import (
     ClusterExecutor,
@@ -53,6 +62,11 @@ from repro.control.scenario import (
     run_global_platform_day,
     scorecard_keys,
 )
+from repro.control.streaming import StreamingExecutor
+
+# repro.control.live_ladder's own ``scorecard_keys``/``build_scorecard``
+# are intentionally NOT re-exported here (the names belong to the
+# flagship scenario); import them from the module directly.
 
 __all__ = [
     "AdmissionConfig",
@@ -69,6 +83,8 @@ __all__ = [
     "JobLedger",
     "JobRequest",
     "JobState",
+    "LiveLadderConfig",
+    "LiveLadderResult",
     "ModeledExecutor",
     "RetryPolicy",
     "SHED_ORDER",
@@ -76,10 +92,12 @@ __all__ = [
     "ScenarioResult",
     "SiteRuntime",
     "SloClass",
+    "StreamingExecutor",
     "TERMINAL_STATES",
     "TransitionRecord",
     "build_scorecard",
     "make_sites",
     "run_global_platform_day",
+    "run_live_ladder",
     "scorecard_keys",
 ]

@@ -49,6 +49,7 @@ from repro.obs.registry import (
     TimeWeightedGauge,
     UtilizationTracker,
 )
+from repro.obs.latency import LadderMetrics
 from repro.obs.trace import TraceLog, TraceSpan
 
 __all__ = [
@@ -57,6 +58,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LadderMetrics",
     "TimeWeightedGauge",
     "UtilizationTracker",
     "TraceLog",

@@ -38,6 +38,13 @@ PLATFORM_DAY_SEED = 11
 PLATFORM_DAY_SECONDS = 3600.0
 PLATFORM_DAY_SMOKE_SECONDS = 900.0
 
+#: Live-ladder settings (the streaming latency flagship scenario).
+LIVE_LADDER_SEED = 13
+LIVE_LADDER_SECONDS = 900.0
+LIVE_LADDER_SMOKE_SECONDS = 360.0
+LIVE_LADDER_HANG_RATE = 0.5
+LIVE_LADDER_CORRUPTION_RATE = 0.5
+
 
 def default_registry() -> ExperimentRegistry:
     """The process-wide registry of paper experiments."""
@@ -347,6 +354,76 @@ def platform_day_unit(ctx: UnitContext) -> Dict[str, Any]:
         outage=ctx.params["outage"],
     )
     result = run_global_platform_day(config, seed=ctx.params["scenario_seed"])
+    return {
+        "outage": ctx.params["outage"],
+        "scorecard": result.scorecard,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Live ladder -- segment streams, alignment barriers, latency scorecard
+
+
+def _live_ladder_summarize(
+    results: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for result in sorted(results, key=lambda r: r["outage"]):
+        card = result["scorecard"]
+        rows.append({
+            "outage": result["outage"],
+            "streams": card["streams.completed"],
+            "segments": card["segments.manifested"],
+            "segments_lost": card["segments.lost"],
+            "ttfs_p50": card["ttfs.p50"],
+            "ttfs_p99": card["ttfs.p99"],
+            "stall_p99": card["stall.p99"],
+            "deadline_miss_rate": card["deadline.miss_rate"],
+            "opportunistic_fallbacks": card["fallback.opportunistic"],
+            "cluster_hangs": card["cluster.hangs"],
+            "conservation_ok": card["conservation.ok"],
+        })
+    return rows
+
+
+@_DEFAULT.experiment(
+    name="live-ladder",
+    title="Live ladder — time-to-first-segment SLOs under segment streaming",
+    grid=[
+        {"outage": False, "horizon_seconds": LIVE_LADDER_SECONDS,
+         "hang_rate": LIVE_LADDER_HANG_RATE,
+         "corruption_rate": LIVE_LADDER_CORRUPTION_RATE,
+         "scenario_seed": LIVE_LADDER_SEED},
+        {"outage": True, "horizon_seconds": LIVE_LADDER_SECONDS,
+         "hang_rate": LIVE_LADDER_HANG_RATE,
+         "corruption_rate": LIVE_LADDER_CORRUPTION_RATE,
+         "scenario_seed": LIVE_LADDER_SEED},
+    ],
+    smoke_grid=[
+        {"outage": False, "horizon_seconds": LIVE_LADDER_SMOKE_SECONDS,
+         "hang_rate": LIVE_LADDER_HANG_RATE,
+         "corruption_rate": LIVE_LADDER_CORRUPTION_RATE,
+         "scenario_seed": LIVE_LADDER_SEED},
+        {"outage": True, "horizon_seconds": LIVE_LADDER_SMOKE_SECONDS,
+         "hang_rate": LIVE_LADDER_HANG_RATE,
+         "corruption_rate": LIVE_LADDER_CORRUPTION_RATE,
+         "scenario_seed": LIVE_LADDER_SEED},
+    ],
+    seed=LIVE_LADDER_SEED,
+    schema=ResultSchema(version=1, fields=("outage", "scorecard")),
+    summarize=_live_ladder_summarize,
+    sources=("repro.control.live_ladder",),
+)
+def live_ladder_unit(ctx: UnitContext) -> Dict[str, Any]:
+    from repro.control.live_ladder import LiveLadderConfig, run_live_ladder
+
+    config = LiveLadderConfig(
+        horizon_seconds=ctx.params["horizon_seconds"],
+        outage=ctx.params["outage"],
+        hang_rate_per_hour=ctx.params["hang_rate"],
+        corruption_rate_per_hour=ctx.params["corruption_rate"],
+    )
+    result = run_live_ladder(config, seed=ctx.params["scenario_seed"])
     return {
         "outage": ctx.params["outage"],
         "scorecard": result.scorecard,

@@ -3,7 +3,11 @@
 This package turns "a video arrived" into the acyclic task-dependency
 graph the warehouse scheduler executes (Section 2.2): chunking, per-chunk
 MOT or SOT transcode steps, non-transcoding steps (thumbnails,
-fingerprinting), and final assembly.
+fingerprinting), and final assembly.  Segment-level streaming --
+watchers releasing source segments over virtual time, per-(codec, rung)
+tasks, and manifest alignment barriers -- lives in
+:mod:`repro.transcode.segments`; the cluster-facing stream sessions are
+in :mod:`repro.transcode.streaming`.
 """
 
 from repro.transcode.ladder import LadderPolicy, PopularityBucket, variants_for
@@ -13,7 +17,21 @@ from repro.transcode.pipeline import (
     StepGraph,
     StepKind,
     build_transcode_graph,
+    codec_ladders,
+    ladder_steps,
 )
+from repro.transcode.segments import (
+    BarrierViolation,
+    ManifestAssembler,
+    ManifestEntry,
+    SegmentRelease,
+    SegmentState,
+    SegmentWatcher,
+    StreamKind,
+    StreamSpec,
+    build_segment_graph,
+)
+from repro.transcode.streaming import LadderDispatcher, StreamSession
 
 __all__ = [
     "PopularityBucket",
@@ -26,4 +44,17 @@ __all__ = [
     "StepGraph",
     "StepKind",
     "build_transcode_graph",
+    "codec_ladders",
+    "ladder_steps",
+    "BarrierViolation",
+    "ManifestAssembler",
+    "ManifestEntry",
+    "SegmentRelease",
+    "SegmentState",
+    "SegmentWatcher",
+    "StreamKind",
+    "StreamSpec",
+    "build_segment_graph",
+    "LadderDispatcher",
+    "StreamSession",
 ]

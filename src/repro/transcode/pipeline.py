@@ -48,6 +48,15 @@ class Step:
     corrupt_output: bool = False
     #: Force the legacy software path (pre-VCU era workload share).
     software_only: bool = False
+    #: For per-rung (SOT) steps: the output rung's resolution name.
+    rung: Optional[str] = None
+    #: Low rungs in a streaming ladder may run on CPU immediately when
+    #: every hardware slot is busy, instead of queueing for a VCU.
+    fallback_opportunistic: bool = False
+    #: Filled by the cluster: virtual time the step last became runnable.
+    ready_at: float = 0.0
+    #: Absolute virtual-time SLO for segment steps (None = throughput work).
+    deadline: Optional[float] = None
 
     def is_transcode(self) -> bool:
         return self.kind is StepKind.TRANSCODE
@@ -111,24 +120,20 @@ def build_transcode_graph(
     """
     chunks = chunk_metadata(video_id, total_frames, fps, source, gop_frames)
     mode = mode_for(workload).mode
-    variants = policy.variants(source, bucket)
-    by_codec: Dict[str, List[Resolution]] = {}
-    for codec, rung in variants:
-        by_codec.setdefault(codec, []).append(rung)
+    by_codec = codec_ladders(policy.variants(source, bucket))
 
     steps: List[Step] = []
     transcode_steps: List[Step] = []
     for chunk in chunks:
-        for codec, ladder in by_codec.items():
-            if use_mot:
-                transcode_steps.append(
-                    _transcode_step(chunk, codec, ladder, mode, True, software_decode)
-                )
-            else:
-                for rung in ladder:
-                    transcode_steps.append(
-                        _transcode_step(chunk, codec, [rung], mode, False, software_decode)
-                    )
+        transcode_steps.extend(
+            ladder_steps(
+                chunk,
+                by_codec,
+                mode,
+                use_mot=use_mot,
+                software_decode=software_decode,
+            )
+        )
     steps.extend(transcode_steps)
 
     for kind, core_seconds in (
@@ -156,6 +161,55 @@ def build_transcode_graph(
     return StepGraph(video_id=video_id, steps=steps, workload=workload)
 
 
+def codec_ladders(
+    variants: Sequence[Tuple[str, Resolution]],
+) -> Dict[str, List[Resolution]]:
+    """Group a ladder policy's (codec, rung) variants per codec."""
+    by_codec: Dict[str, List[Resolution]] = {}
+    for codec, rung in variants:
+        by_codec.setdefault(codec, []).append(rung)
+    return by_codec
+
+
+def ladder_steps(
+    chunk: Chunk,
+    by_codec: Dict[str, List[Resolution]],
+    mode: EncodingMode,
+    *,
+    use_mot: bool,
+    software_decode: bool = False,
+    opportunistic_max_pixels: int = 0,
+    deadline: Optional[float] = None,
+) -> List[Step]:
+    """All transcode steps for one chunk/segment of the ladder.
+
+    This is the single step-graph builder both the whole-chunk path
+    (:func:`build_transcode_graph`) and segment mode route through: with
+    ``use_mot`` each codec becomes one MOT step encoding the whole
+    ladder, otherwise each (codec, rung) is its own SOT step re-decoding
+    the input (Figure 2).  Rungs whose output pixel count is at most
+    ``opportunistic_max_pixels`` are marked eligible for immediate
+    software fallback when hardware slots are saturated.
+    """
+    steps: List[Step] = []
+    for codec, ladder in by_codec.items():
+        if use_mot:
+            steps.append(
+                _transcode_step(chunk, codec, ladder, mode, True, software_decode)
+            )
+        else:
+            for rung in ladder:
+                step = _transcode_step(
+                    chunk, codec, [rung], mode, False, software_decode
+                )
+                step.fallback_opportunistic = (
+                    0 < rung.pixels <= opportunistic_max_pixels
+                )
+                step.deadline = deadline
+                steps.append(step)
+    return steps
+
+
 def _transcode_step(
     chunk: Chunk,
     codec: str,
@@ -180,4 +234,5 @@ def _transcode_step(
         kind=StepKind.TRANSCODE,
         video_id=chunk.video_id,
         vcu_task=task,
+        rung=None if is_mot else outputs[0].name,
     )

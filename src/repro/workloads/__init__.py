@@ -16,10 +16,11 @@ from repro.workloads.upload import UPLOAD_RESOLUTION_MIX, UploadGenerator, Uploa
 from repro.workloads.live import LiveChunkResult, LiveStream, simulate_live_stream
 from repro.workloads.gaming import GamingSession, gaming_latency_ms
 
-# repro.workloads.platform is intentionally NOT re-exported here: it
-# depends on repro.control (for JobRequest), which depends back on this
-# package via the scenario module.  Import it as
-# ``repro.workloads.platform`` directly.
+# repro.workloads.platform and repro.workloads.streams are intentionally
+# NOT re-exported here: they depend on repro.control (for JobRequest),
+# which depends back on this package via its scenario modules.  Import
+# them as ``repro.workloads.platform`` / ``repro.workloads.streams``
+# directly.
 
 __all__ = [
     "PopularityModel",

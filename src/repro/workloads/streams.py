@@ -1,0 +1,108 @@
+"""Demand for the live-ladder scenario: live legs plus upload bursts.
+
+Where :mod:`repro.workloads.platform` models a full diurnal day, this is
+the focused streaming mix the latency scorecard needs: Poisson arrivals
+of **live** legs (each a fixed-length real-time capture that will drip
+segments) and **upload** jobs (whole files whose segments burst into the
+queue at dispatch).  Uploads are the background pressure that makes the
+live rungs actually queue.
+
+Same determinism contract as the platform workload: every class draws
+from its own split RNG stream, and the merged list is sorted by
+``(arrival, class, id)`` -- a pure function of the seed and rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.sim.rng import SeedLike, split_rng
+
+if TYPE_CHECKING:  # deferred: repro.control imports back into workloads
+    from repro.control.jobs import JobRequest
+
+
+@dataclass(frozen=True)
+class LadderDemandConfig:
+    """Shape of one live-ladder run's demand."""
+
+    #: Mean arrivals per second per class.
+    live_rate: float = 0.01
+    upload_rate: float = 0.02
+    #: Seconds of source content per live leg (fixed: a scheduled show).
+    live_duration_seconds: float = 30.0
+    #: Mean seconds of source content per upload (exponential + floor).
+    upload_duration_mean: float = 16.0
+    upload_duration_min: float = 4.0
+    #: Abstract map coordinate demand originates from (single-site runs).
+    origin: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.live_rate < 0 or self.upload_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if self.live_duration_seconds <= 0:
+            raise ValueError("live_duration_seconds must be positive")
+        if self.upload_duration_min <= 0 or self.upload_duration_mean <= 0:
+            raise ValueError("upload durations must be positive")
+
+
+class LadderDemandWorkload:
+    """Deterministic JobRequest stream for the live-ladder scenario."""
+
+    def __init__(self, config: LadderDemandConfig, seed: SeedLike = 0) -> None:
+        self.config = config
+        self._seed = seed
+
+    def _arrivals(
+        self, rng: np.random.Generator, rate: float, until: float
+    ) -> Iterator[float]:
+        if rate <= 0:
+            return
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= until:
+                return
+            yield t
+
+    def requests(self, until: float) -> List[JobRequest]:
+        """All arrivals before ``until``, merged and time-ordered."""
+        # Imported here, not at module top: repro.control.live_ladder
+        # imports this module, so a top-level import would be circular.
+        from repro.control.jobs import JobRequest, SloClass
+
+        config = self.config
+        out: List[JobRequest] = []
+
+        rng = split_rng(self._seed, "ladder/live")
+        for index, t in enumerate(self._arrivals(rng, config.live_rate, until)):
+            out.append(JobRequest(
+                job_id=f"live-{index + 1}",
+                slo_class=SloClass.LIVE,
+                origin=config.origin,
+                arrival_time=t,
+                service_seconds=config.live_duration_seconds,
+                megapixels=config.live_duration_seconds * 124.0,
+            ))
+
+        rng = split_rng(self._seed, "ladder/upload")
+        for index, t in enumerate(
+            self._arrivals(rng, config.upload_rate, until)
+        ):
+            duration = config.upload_duration_min + float(
+                rng.exponential(config.upload_duration_mean)
+            )
+            out.append(JobRequest(
+                job_id=f"up-{index + 1}",
+                slo_class=SloClass.UPLOAD,
+                origin=config.origin,
+                arrival_time=t,
+                service_seconds=duration,
+                megapixels=duration * 50.0,
+            ))
+
+        out.sort(key=lambda r: (r.arrival_time, r.slo_class, r.job_id))
+        return out

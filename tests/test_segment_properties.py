@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for the segment/barrier algebra.
+
+The :class:`~repro.transcode.segments.ManifestAssembler` is the oracle
+the whole streaming ladder leans on -- segment conservation, alignment
+barriers, and strict in-order manifest emission -- so its algebra gets
+the property treatment under randomized rung sets, release schedules,
+and rung-completion interleavings:
+
+* every released segment ends in exactly one terminal state;
+* manifest entries come out strictly in segment order, regardless of
+  the order barriers fire;
+* no barrier fires before all of a segment's rungs complete;
+* duplicate releases / duplicate completions / completions for unknown
+  segments always raise :class:`BarrierViolation`.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.transcode.segments import (
+    BarrierViolation,
+    ManifestAssembler,
+    SegmentState,
+)
+
+rung_key_sets = st.lists(
+    st.sampled_from(
+        ["h264/1080p", "h264/720p", "h264/480p", "h264/360p",
+         "h264/240p", "h264/144p", "vp9/1080p", "vp9/720p", "vp9/360p"]
+    ),
+    min_size=1, max_size=6, unique=True,
+).map(tuple)
+
+segment_counts = st.integers(min_value=1, max_value=8)
+
+
+def scripted_run(rung_keys, segment_count, order_seed):
+    """Drive a full stream through the assembler in a shuffled order.
+
+    Builds the complete (segment, rung) completion list, shuffles it with
+    hypothesis-drawn randomness, and replays it with an increasing clock.
+    Returns the assembler plus the per-completion emission log.
+    """
+    assembler = ManifestAssembler("s", rung_keys)
+    work = [
+        (index, key)
+        for index in range(segment_count)
+        for key in rung_keys
+    ]
+    order_seed.shuffle(work)
+    for index in range(segment_count):
+        assembler.release(index, at=float(index))
+    emissions = []
+    clock = float(segment_count)
+    for index, key in work:
+        clock += 1.0
+        emissions.append(assembler.complete_rung(index, key, at=clock))
+    return assembler, emissions
+
+
+@given(
+    rung_keys=rung_key_sets,
+    segment_count=segment_counts,
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_every_released_segment_reaches_exactly_one_terminal_state(
+    rung_keys, segment_count, order_seed
+):
+    assembler, _ = scripted_run(rung_keys, segment_count, order_seed)
+    # All work done => every segment EMITTED, none pending, none lost.
+    assert assembler.pending_indices() == []
+    assert sorted(e.index for e in assembler.entries) == list(
+        range(segment_count)
+    )
+    assert len(assembler.entries) == segment_count  # exactly once each
+    for index in range(segment_count):
+        assert assembler.state_of(index) is SegmentState.EMITTED
+
+
+@given(
+    rung_keys=rung_key_sets,
+    segment_count=segment_counts,
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_manifest_entries_emit_strictly_in_segment_order(
+    rung_keys, segment_count, order_seed
+):
+    assembler, emissions = scripted_run(rung_keys, segment_count, order_seed)
+    indices = [e.index for e in assembler.entries]
+    assert indices == sorted(indices)
+    # The flattened per-call emissions equal the manifest, in order.
+    flat = [entry.index for batch in emissions for entry in batch]
+    assert flat == indices
+    for entry in assembler.entries:
+        assert entry.emitted_at >= entry.aligned_at >= entry.released_at
+        assert entry.stall_seconds == entry.emitted_at - entry.aligned_at
+
+
+@given(
+    rung_keys=rung_key_sets,
+    segment_count=segment_counts,
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_barrier_never_fires_before_all_rungs_complete(
+    rung_keys, segment_count, order_seed
+):
+    assembler = ManifestAssembler("s", rung_keys)
+    work = [
+        (index, key)
+        for index in range(segment_count)
+        for key in rung_keys
+    ]
+    order_seed.shuffle(work)
+    for index in range(segment_count):
+        assembler.release(index, at=0.0)
+    done = {index: set() for index in range(segment_count)}
+    for clock, (index, key) in enumerate(work):
+        emitted = assembler.complete_rung(index, key, at=float(clock + 1))
+        done[index].add(key)
+        for entry in emitted:
+            # Anything emitted must have every rung completed by now.
+            assert done[entry.index] == set(rung_keys)
+        state = assembler.state_of(index)
+        if done[index] != set(rung_keys):
+            assert state is SegmentState.ENCODING
+
+
+@given(
+    rung_keys=rung_key_sets,
+    order_seed=st.randoms(use_true_random=False),
+)
+def test_duplicate_and_unknown_events_always_raise(rung_keys, order_seed):
+    assembler = ManifestAssembler("s", rung_keys)
+    assembler.release(0, at=0.0)
+    with pytest.raises(BarrierViolation):
+        assembler.release(0, at=1.0)  # double release
+    with pytest.raises(BarrierViolation):
+        assembler.complete_rung(7, rung_keys[0], at=1.0)  # never released
+    with pytest.raises(BarrierViolation):
+        assembler.complete_rung(0, "av1/8k", at=1.0)  # unknown rung key
+    keys = list(rung_keys)
+    order_seed.shuffle(keys)
+    for clock, key in enumerate(keys):
+        assembler.complete_rung(0, key, at=float(clock + 1))
+    with pytest.raises(BarrierViolation):
+        # Double encode after emission: still a violation.
+        assembler.complete_rung(0, keys[0], at=99.0)
+    assert [e.index for e in assembler.entries] == [0]
+
+
+@given(segment_count=st.integers(min_value=2, max_value=8))
+def test_head_of_line_stall_is_attributed_to_the_blocked_segment(
+    segment_count
+):
+    # Complete segments in strictly reverse order: everything aligns
+    # before segment 0, so all entries emit together when 0's barrier
+    # finally fires, and only segment 0 has zero stall.
+    assembler = ManifestAssembler("s", ("h264/360p",))
+    for index in range(segment_count):
+        assembler.release(index, at=0.0)
+    for clock, index in enumerate(reversed(range(1, segment_count))):
+        assert assembler.complete_rung(index, "h264/360p", at=clock + 1.0) == []
+    final = float(segment_count)
+    entries = assembler.complete_rung(0, "h264/360p", at=final)
+    assert [e.index for e in entries] == list(range(segment_count))
+    assert entries[0].stall_seconds == 0.0
+    assert all(e.stall_seconds > 0.0 for e in entries[1:])
+    assert all(e.emitted_at == final for e in entries)
