@@ -174,7 +174,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro import perfbench
 
-    report = perfbench.write_report(args.out, smoke=args.smoke)
+    report = perfbench.write_report(args.out, smoke=args.smoke, fleet=args.fleet)
     print(perfbench.render(report))
     print(f"wrote {args.out}")
     return 0
@@ -351,7 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument("--smoke", action="store_true",
                       help="small workload for CI regression signal")
-    perf.add_argument("--out", default="BENCH_PR3.json",
+    perf.add_argument("--fleet", action="store_true",
+                      help="run the fleet-day bench at full 50k-VCU scale")
+    perf.add_argument("--out", default="BENCH_PR8.json",
                       help="where to write the JSON report")
     perf.set_defaults(func=_cmd_perf)
 

@@ -27,9 +27,11 @@ resilience loop:
 from __future__ import annotations
 
 from collections import deque
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import (
-    Callable, Deque, Dict, Generator, List, Optional, Sequence, Set, Tuple,
+    Callable, Deque, Dict, Generator, Iterable, List, Optional, Sequence, Set,
+    Tuple,
 )
 
 import numpy as np
@@ -39,6 +41,7 @@ from repro.obs.latency import LadderMetrics
 from repro.cluster.health import HealthState
 from repro.cluster.metrics import ThroughputWindow, UtilizationTracker
 from repro.cluster.scheduler import BinPackingScheduler, SingleSlotScheduler
+from repro.cluster.telemetry import FleetTelemetry
 from repro.cluster.worker import CpuWorker, VcuWorker
 from repro.failures.consistent_hash import (
     ChunkAffinityPolicy,
@@ -133,9 +136,16 @@ class TranscodeCluster:
         affinity_placement: bool = False,
         affinity_size: int = 3,
         on_graph_done: Optional[Callable[[StepGraph], None]] = None,
+        telemetry_mode: str = "exact",
+        telemetry_sample_seconds: float = 5.0,
+        fleet_mode: bool = False,
     ):
         if not 0.0 <= integrity_check_rate <= 1.0:
             raise ValueError("integrity_check_rate must be in [0, 1]")
+        if telemetry_mode not in ("exact", "sampled"):
+            raise ValueError(
+                f"telemetry_mode must be 'exact' or 'sampled', got {telemetry_mode!r}"
+            )
         self.sim = sim
         self.vcu_workers = list(vcu_workers)
         self.cpu_workers = list(cpu_workers)
@@ -170,7 +180,21 @@ class TranscodeCluster:
         self.on_step_done: Optional[Callable[[Step, bool], None]] = None
         #: When set, segment steps record per-rung queue waits here.
         self.ladder_metrics: Optional[LadderMetrics] = None
-        self.stats = ClusterStats(throughput=ThroughputWindow(start_time=sim.now))
+        #: ``fleet_mode`` trades bookkeeping exactness guarantees that
+        #: only hold under the cluster's own APIs for O(1) hot paths at
+        #: 50k-VCU scale: an incrementally maintained availability count
+        #: (fed by worker health hooks and the failure-management
+        #: notifications) replaces the per-placement fleet scan, and the
+        #: throughput window stops retaining per-completion samples.
+        #: Direct mutation of worker/host state from outside those APIs
+        #: must be followed by :meth:`note_availability_changed`.
+        self.fleet_mode = fleet_mode
+        self.telemetry_mode = telemetry_mode
+        self.stats = ClusterStats(
+            throughput=ThroughputWindow(
+                start_time=sim.now, keep_samples=not fleet_mode
+            )
+        )
         # When an observability hub is installed, bind it to this run's
         # virtual clock (and the engine's active-process context) so
         # spans emitted by clockless components -- workers, schedulers,
@@ -181,7 +205,12 @@ class TranscodeCluster:
             hub.metrics.time_gauge("cluster.encoder_util", sim.now)
             hub.metrics.time_gauge("cluster.decoder_util", sim.now)
         self._rng = make_rng(seed)
-        self._pending: Deque[Tuple[Step, Set[str]]] = deque()
+        # Lane-segregated pending queues (see _drain_pending); the global
+        # arrival sequence number preserves cross-lane FIFO order.
+        self._pending_lanes: Dict[str, Deque[Tuple[int, Step, Set[str]]]] = {
+            "hw": deque(), "hw_swdec": deque(), "hw_opp": deque(), "cpu": deque(),
+        }
+        self._arrival_seq = 0
         self._graphs: List[StepGraph] = []
         self._remaining_deps: Dict[int, int] = {}
         self._dependents: Dict[int, List[Step]] = {}
@@ -197,6 +226,30 @@ class TranscodeCluster:
         for worker in self.vcu_workers:
             if worker.health is HealthState.QUARANTINED:
                 self._note_quarantine(worker)
+        # Fleet-scale bookkeeping: an availability mask/count maintained
+        # at mutation sites instead of recomputed per placement.  Bind-
+        # time quarantines above already happened, so the initial scan
+        # reads settled state.
+        self._avail_mask: Optional[np.ndarray] = None
+        self._available_count = -1
+        if fleet_mode:
+            self._worker_index = {
+                w.name: i for i, w in enumerate(self.vcu_workers)
+            }
+            self._worker_by_vcu = {w.vcu.vcu_id: w for w in self.vcu_workers}
+            self._avail_mask = np.fromiter(
+                (w.available() for w in self.vcu_workers),
+                dtype=bool,
+                count=len(self.vcu_workers),
+            )
+            self._available_count = int(self._avail_mask.sum())
+            for worker in self.vcu_workers:
+                worker.on_availability_change = self.note_availability_changed
+        self._fleet_telemetry: Optional[FleetTelemetry] = None
+        if telemetry_mode == "sampled":
+            self._fleet_telemetry = FleetTelemetry(
+                self, sample_seconds=telemetry_sample_seconds
+            )
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -217,7 +270,7 @@ class TranscodeCluster:
 
     @property
     def pending_count(self) -> int:
-        return len(self._pending)
+        return sum(len(lane) for lane in self._pending_lanes.values())
 
     @staticmethod
     def _count(name: str, amount: float = 1.0) -> None:
@@ -236,34 +289,63 @@ class TranscodeCluster:
     def _enqueue(self, step: Step, excluded: Set[str]) -> None:
         step.ready_at = self.sim.now
         if not self._try_place(step, excluded):
-            self._pending.append((step, excluded))
+            seq = self._arrival_seq
+            self._arrival_seq = seq + 1
+            self._pending_lanes[self._lane_of(step)].append((seq, step, excluded))
+
+    @staticmethod
+    def _lane_of(step: Step) -> str:
+        """Which head-of-line-blocking lane a pending step waits in.
+
+        Hardware-decode and software-decode transcodes have different
+        shapes (millidecode vs host_decode), hence separate lanes; and
+        opportunistic ladder rungs can land on either pool, so a blocked
+        hw lane must not starve them (and vice versa).
+        """
+        if step.is_transcode() and not step.software_only:
+            if step.fallback_opportunistic:
+                return "hw_opp"
+            return "hw_swdec" if step.vcu_task.software_decode else "hw"
+        return "cpu"
+
+    def _placement_batch(self) -> ExitStack:
+        """Scheduler batch contexts for a run of placements (see
+        ``BinPackingScheduler.batch``); tolerates schedulers without
+        batching (the legacy single-slot model)."""
+        stack = ExitStack()
+        vcu_batch = getattr(self.vcu_scheduler, "batch", None)
+        if vcu_batch is not None:
+            stack.enter_context(vcu_batch())
+        stack.enter_context(self.cpu_scheduler.batch())
+        return stack
 
     def _drain_pending(self) -> None:
         # Head-of-line blocking per lane: once a step of some shape fails
         # to place, later same-shaped steps in the FIFO will not fit
-        # either, so skip them this round instead of probing every worker
-        # again.  Hardware-decode and software-decode transcodes have
-        # different shapes (millidecode vs host_decode), hence the lanes.
-        still_waiting: Deque[Tuple[Step, Set[str]]] = deque()
-        blocked = {"hw": False, "hw_swdec": False, "hw_opp": False, "cpu": False}
-        while self._pending:
-            step, excluded = self._pending.popleft()
-            if step.is_transcode() and not step.software_only:
-                # Opportunistic ladder rungs can land on either pool, so a
-                # blocked hw lane must not starve them (and vice versa).
-                if step.fallback_opportunistic:
-                    lane = "hw_opp"
+        # either, so the whole lane sits out the round.  Lanes are kept
+        # segregated so a drain touches only the steps it actually
+        # attempts -- the old single-FIFO drain popped and re-appended
+        # every blocked entry, O(pending) per completion at saturation.
+        # Cross-lane order is restored by always attempting the smallest
+        # arrival sequence among unblocked lanes, which is exactly the
+        # order the single FIFO produced.
+        live = [lane for lane in self._pending_lanes.values() if lane]
+        if not live:
+            return
+        with self._placement_batch():
+            while live:
+                best_at = 0
+                for i in range(1, len(live)):
+                    if live[i][0][0] < live[best_at][0][0]:
+                        best_at = i
+                best = live[best_at]
+                _, step, excluded = best[0]
+                if self._try_place(step, excluded):
+                    best.popleft()
+                    if not best:
+                        del live[best_at]
                 else:
-                    lane = "hw_swdec" if step.vcu_task.software_decode else "hw"
-            else:
-                lane = "cpu"
-            if blocked[lane]:
-                still_waiting.append((step, excluded))
-                continue
-            if not self._try_place(step, excluded):
-                still_waiting.append((step, excluded))
-                blocked[lane] = True
-        self._pending = still_waiting
+                    del live[best_at]  # lane blocked for this round
 
     def _try_place(self, step: Step, excluded: Set[str]) -> bool:
         if step.is_transcode():
@@ -272,19 +354,26 @@ class TranscodeCluster:
 
     def _place_transcode(self, step: Step, excluded: Set[str]) -> bool:
         task = step.vcu_task
-        candidates = [w for w in self.vcu_workers if w.available()]
-        usable = [w for w in candidates if w.name not in excluded]
-        if candidates and not usable:
-            # Every live VCU is on this step's exclusion list -- e.g. the
-            # fleet's lone worker failed once and has since been
-            # rehabilitated.  Starvation is worse than weakened fault
-            # correlation: retry anywhere.
-            excluded = set()
-            usable = candidates
+        if self.fleet_mode and self._available_count > len(excluded):
+            # Pigeonhole: more live workers than excluded names means a
+            # usable candidate certainly exists -- skip the O(fleet)
+            # scans that only decide emptiness and exclusion resets.
+            has_usable = True
+        else:
+            candidates = [w for w in self.vcu_workers if w.available()]
+            usable = [w for w in candidates if w.name not in excluded]
+            if candidates and not usable:
+                # Every live VCU is on this step's exclusion list -- e.g.
+                # the fleet's lone worker failed once and has since been
+                # rehabilitated.  Starvation is worse than weakened fault
+                # correlation: retry anywhere.
+                excluded = set()
+                usable = candidates
+            has_usable = bool(usable)
         hardware_exhausted = (
             step.software_only
             or step.attempts >= self.max_hardware_attempts
-            or not usable
+            or not has_usable
         )
         if not hardware_exhausted:
             # Request shape depends on the target worker type only through
@@ -374,7 +463,11 @@ class TranscodeCluster:
         duration = worker.step_seconds(step.vcu_task, request)
         started = self.sim.now
         self._record_queue_wait(step)
-        self._record_utilization()
+        telemetry = self._fleet_telemetry
+        if telemetry is None:
+            self._record_utilization()
+        else:
+            telemetry.note_admit(worker.name, request)
 
         def execute() -> Generator:
             yield duration
@@ -396,7 +489,10 @@ class TranscodeCluster:
                 yield work.done
                 index = 0
             self.vcu_scheduler.release(worker, request)
-            self._record_utilization()
+            if telemetry is None:
+                self._record_utilization()
+            else:
+                telemetry.note_release(worker.name, request)
             if index == 0:
                 if timer is not None:
                     timer.cancel()
@@ -597,6 +693,7 @@ class TranscodeCluster:
         if host.unusable:
             return
         host.unusable = True
+        self._sync_host_availability(host)
         self.stats.host_evictions += 1
         hub = obs.active()
         if hub is not None:
@@ -608,7 +705,55 @@ class TranscodeCluster:
         for worker in self.vcu_workers:
             if worker.host is host and worker.reset_after_repair():
                 self._spawn_rehab(worker)
+        self._sync_host_availability(host)
         self._drain_pending()
+
+    def on_host_drained(self, host: VcuHost) -> None:
+        """A repair started: the host is out of service while the
+        technician works (the failure sweeper notifies us so fleet-mode
+        availability stays exact)."""
+        self._sync_host_availability(host)
+
+    def on_vcus_disabled(self, vcu_ids: Iterable[str]) -> None:
+        """A telemetry sweep disabled devices outside the health-state
+        machine; re-sync their workers' availability."""
+        if not self.fleet_mode:
+            return
+        for vcu_id in vcu_ids:
+            worker = self._worker_by_vcu.get(vcu_id)
+            if worker is not None:
+                self.note_availability_changed(worker)
+
+    def note_availability_changed(self, worker: VcuWorker) -> None:
+        """Re-read one worker's availability into the fleet-mode mask.
+
+        Called automatically from the worker health choke point, host
+        eviction/repair flows, and the failure sweeper; anything else
+        that mutates worker/host serving state directly must call it
+        too, or the fleet-mode count drifts.
+        """
+        mask = self._avail_mask
+        if mask is None:
+            return
+        index = self._worker_index.get(worker.name)
+        if index is None:
+            return
+        now_available = worker.available()
+        if now_available != bool(mask[index]):
+            mask[index] = now_available
+            self._available_count += 1 if now_available else -1
+
+    def _sync_host_availability(self, host: VcuHost) -> None:
+        if self._avail_mask is None:
+            return
+        for vcu in host.vcus:
+            worker = self._worker_by_vcu.get(vcu.vcu_id)
+            if worker is not None:
+                self.note_availability_changed(worker)
+
+    def availability_mask(self) -> Optional[np.ndarray]:
+        """Fleet-mode availability per vcu worker, or None outside it."""
+        return self._avail_mask
 
     # ------------------------------------------------------------------ #
     # Completion
@@ -646,7 +791,12 @@ class TranscodeCluster:
             hub = obs.active()
             if hub is not None:
                 hub.count("cluster.completed_graphs")
-                hub.observe("cluster.graph_latency_seconds", latency)
+                if self._fleet_telemetry is None:
+                    hub.observe("cluster.graph_latency_seconds", latency)
+                else:
+                    # Delivered in bulk at the next sample boundary; the
+                    # histogram has no time axis, so snapshots match.
+                    self._fleet_telemetry.note_graph_latency(latency)
                 hub.emit(
                     "graph", graph.video_id,
                     t0=graph.submitted_at, t1=graph.completed_at,
@@ -672,5 +822,12 @@ class TranscodeCluster:
             hub.metrics.time_gauge("cluster.encoder_util").set(now, encoder)
             hub.metrics.time_gauge("cluster.decoder_util").set(now, decoder)
 
+    def flush_telemetry(self) -> None:
+        """Force a sampled-telemetry flush (end-of-run bookkeeping)."""
+        if self._fleet_telemetry is not None:
+            self._fleet_telemetry.flush()
+
     def healthy_vcu_count(self) -> int:
+        if self.fleet_mode:
+            return self._available_count
         return sum(1 for w in self.vcu_workers if w.available())

@@ -26,7 +26,8 @@ for the equivalence suite and the perf harness).
 from __future__ import annotations
 
 from bisect import insort
-from typing import Dict, List, Optional, Protocol, Sequence, Set
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -93,6 +94,39 @@ def _ordered_workers(
     return preferred + [w for w in workers if w.name not in chosen]
 
 
+class _ShapeCache:
+    """Per-request-shape placement state, valid for one batch.
+
+    ``mask``/``order`` are the fit mask and its candidate index list,
+    computed once per shape per batch.  ``dead`` collects indices whose
+    ``try_admit`` rejected this shape: within a batch, availability only
+    ever *decreases* (admits are observed, releases invalidate the whole
+    batch), so a resource rejection is permanent for the batch and the
+    scan never re-probes the worker.
+    """
+
+    __slots__ = ("mask", "order", "dead")
+
+    def __init__(self, mask: np.ndarray):
+        self.mask = mask
+        self.order: List[int] = np.flatnonzero(mask).tolist()
+        self.dead: Set[int] = set()
+
+
+class _BatchState:
+    """Shared cache for one placement batch (see ``batch()``)."""
+
+    __slots__ = ("shapes", "refreshed")
+
+    def __init__(self):
+        self.shapes: Dict[Tuple, _ShapeCache] = {}
+        self.refreshed = False
+
+    def invalidate(self) -> None:
+        self.shapes.clear()
+        self.refreshed = False
+
+
 class BinPackingScheduler:
     """Online multi-dimensional bin packing over an availability cache.
 
@@ -121,6 +155,7 @@ class BinPackingScheduler:
         self._dim_index: Dict[str, int] = {}
         self._avail = np.empty((0, 0), dtype=np.float64)
         self._unindexed = np.empty(0, dtype=bool)  # workers w/o .resources
+        self._batch: Optional[_BatchState] = None
         self._rebuild_index()
 
     @property
@@ -128,6 +163,8 @@ class BinPackingScheduler:
         return list(self._workers)
 
     def add_worker(self, worker: PlaceableWorker) -> None:
+        if self._batch is not None:
+            self._batch.invalidate()
         self._workers.append(worker)
         self._by_name[worker.name] = len(self._workers) - 1
         resources = getattr(worker, "resources", None)
@@ -143,6 +180,8 @@ class BinPackingScheduler:
         self._refresh_row(len(self._workers) - 1)
 
     def remove_worker(self, worker: PlaceableWorker) -> None:
+        if self._batch is not None:
+            self._batch.invalidate()
         self._workers.remove(worker)
         self._by_name = {w.name: i for i, w in enumerate(self._workers)}
         self._rebuild_index()
@@ -186,6 +225,11 @@ class BinPackingScheduler:
 
     def refresh(self) -> None:
         """Re-sync every row (external admissions/releases happened)."""
+        if self._batch is not None:
+            self._batch.invalidate()
+        self._refresh_all_rows()
+
+    def _refresh_all_rows(self) -> None:
         for index in range(len(self._workers)):
             self._refresh_row(index)
 
@@ -219,19 +263,133 @@ class BinPackingScheduler:
         ``excluded`` carries worker names the step must avoid -- e.g. VCUs
         it already failed on (Section 4.4's fault-correlation retries).
         ``preference`` front-loads the probe order (chunk affinity).
+
+        Inside a :meth:`batch` context the fit mask and candidate order
+        are cached per request shape and the fruitless full refresh runs
+        at most once per batch; decisions are identical to the unbatched
+        path (see the batch-amortization notes on :meth:`batch`).
         """
-        worker = self._place_indexed(request, excluded, preference)
-        if worker is None:
-            # The index can only miss a fitting worker if resources were
-            # released behind its back; re-sync and rescan before rejecting.
-            self.refresh()
+        batch = self._batch
+        if batch is None:
             worker = self._place_indexed(request, excluded, preference)
+            if worker is None:
+                # The index can only miss a fitting worker if resources
+                # were released behind its back; re-sync and rescan
+                # before rejecting.
+                self._refresh_all_rows()
+                worker = self._place_indexed(request, excluded, preference)
+        else:
+            worker = self._place_batched(batch, request, excluded, preference)
         if worker is not None:
             self.placements += 1
         else:
             self.rejections += 1
         _emit_placement("bin_packing", worker, excluded, preference)
         return worker
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Amortize a run of placements over shared per-shape caches.
+
+        Batch amortization is sound because every event that could make
+        a cached view *pessimistic* (miss a worker that actually fits)
+        invalidates the cache: observed releases, worker add/remove, and
+        external :meth:`refresh` all clear it.  The remaining drift is
+        *optimistic* -- admits inside the batch shrink real availability
+        below the cached mask -- and ``try_admit`` stays authoritative,
+        so a stale candidate is probed once, rejected, and marked dead
+        for the rest of the batch (availability for a shape can only
+        keep shrinking until the next invalidation).  First-fit order is
+        untouched; the batch path returns exactly the worker the
+        unbatched path would.
+
+        Nested ``batch()`` contexts join the outermost batch.
+        """
+        if self._batch is not None:
+            yield
+            return
+        self._batch = _BatchState()
+        try:
+            yield
+        finally:
+            self._batch = None
+
+    def place_batch(
+        self,
+        requests: Sequence[Dict[str, float]],
+        excluded: Set[str] = frozenset(),
+        preference: Optional[Sequence[str]] = None,
+    ) -> List[Optional[PlaceableWorker]]:
+        """Place an arrival batch in order; one vectorized scan per shape."""
+        with self.batch():
+            return [
+                self.place(request, excluded, preference) for request in requests
+            ]
+
+    def _place_batched(
+        self,
+        batch: _BatchState,
+        request: Dict[str, float],
+        excluded: Set[str],
+        preference: Optional[Sequence[str]],
+    ) -> Optional[PlaceableWorker]:
+        key = tuple(sorted(request.items()))
+        entry = batch.shapes.get(key)
+        if entry is None:
+            entry = _ShapeCache(self._fit_mask(request))
+            batch.shapes[key] = entry
+        worker = self._scan_shape(entry, request, excluded, preference)
+        if worker is None and not batch.refreshed:
+            # Same recovery as the unbatched path, once per batch: an
+            # unobserved release may have made rows pessimistic.
+            batch.refreshed = True
+            self._refresh_all_rows()
+            # The refresh may have *raised* rows, so every cached shape
+            # is suspect, not just this one.
+            batch.shapes.clear()
+            entry = _ShapeCache(self._fit_mask(request))
+            batch.shapes[key] = entry
+            worker = self._scan_shape(entry, request, excluded, preference)
+        return worker
+
+    def _scan_shape(
+        self,
+        entry: _ShapeCache,
+        request: Dict[str, float],
+        excluded: Set[str],
+        preference: Optional[Sequence[str]],
+    ) -> Optional[PlaceableWorker]:
+        workers = self._workers
+        mask = entry.mask
+        dead = entry.dead
+        preferred: Set[int] = set()
+        if preference:
+            by_name = self._by_name
+            for name in preference:
+                index = by_name.get(name)
+                if index is None:
+                    continue
+                preferred.add(index)
+                if index in dead or not mask[index]:
+                    continue
+                worker = workers[index]
+                if worker.name in excluded or not worker.available():
+                    continue
+                if worker.try_admit(request):
+                    self._refresh_row(index)
+                    return worker
+                dead.add(index)
+        for index in entry.order:
+            if index in dead or index in preferred:
+                continue
+            worker = workers[index]
+            if worker.name in excluded or not worker.available():
+                continue
+            if worker.try_admit(request):
+                self._refresh_row(index)
+                return worker
+            dead.add(index)
+        return None
 
     def _place_indexed(
         self,
@@ -298,6 +456,11 @@ class BinPackingScheduler:
     ) -> None:
         """Release a placed request and keep the availability index fresh."""
         worker.release(request)  # type: ignore[attr-defined]
+        if self._batch is not None:
+            # A release can make cached batch masks pessimistic (a worker
+            # they exclude now fits); drop them so the next placement
+            # recomputes against ground truth.
+            self._batch.invalidate()
         index = self._by_name.get(worker.name)
         if index is not None and self._workers[index] is worker:
             self._refresh_row(index)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro import obs
 from repro.baselines.cpu import SkylakeSystem
@@ -82,6 +82,10 @@ class VcuWorker(Worker):
         self.health = HealthState.HEALTHY
         self.strikes = 0
         self.rescreen_failures = 0
+        #: Optional observer invoked (with this worker) after every health
+        #: transition -- the fleet-mode cluster keeps its availability
+        #: count exact through this hook instead of rescanning the fleet.
+        self.on_availability_change: Optional[Callable[["VcuWorker"], None]] = None
         if host_multiplier is None:
             host_multiplier = 1.0 if numa_aware else 1.0 / 1.20
         self.host_multiplier = host_multiplier
@@ -99,6 +103,9 @@ class VcuWorker(Worker):
         if new is old:
             return
         self.health = new
+        observer = self.on_availability_change
+        if observer is not None:
+            observer(self)
         hub = obs.active()
         if hub is not None:
             hub.count("worker.health_transitions")

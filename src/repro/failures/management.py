@@ -160,6 +160,10 @@ class FailureSweeper:
             yield self.interval_seconds
             newly_disabled = self.manager.sweep()
             self.sweeps += 1
+            if newly_disabled and self.cluster is not None:
+                # Sweep disables bypass the worker health machine; tell
+                # the cluster so fleet-mode availability stays exact.
+                self.cluster.on_vcus_disabled(newly_disabled)
             hub = obs.active()
             if hub is not None:
                 hub.count("fleet.sweeps")
@@ -174,6 +178,8 @@ class FailureSweeper:
     def _repair(self, host: VcuHost) -> Generator:
         # Drained while the technician works on it.
         host.unusable = True
+        if self.cluster is not None:
+            self.cluster.on_host_drained(host)
         started = self.sim.now
         yield self.repair_seconds
         self.manager.repair_queue.finish_repair(host)

@@ -1,0 +1,150 @@
+"""A bucketed event calendar for the simulation engine.
+
+The engine's event volume is dominated by *ties*: at fleet scale,
+thousands of step completions land on the same virtual timestamp (aligned
+segment boundaries, synchronized samplers, batched arrivals).  A single
+``heapq`` pays ``O(log n)`` per event and re-heapifies through every one
+of those ties.  The calendar exploits the tie structure directly:
+
+* **Near tier** -- a dict of buckets keyed by *exact* timestamp plus a
+  min-heap of the distinct timestamps present.  A push is a dict lookup
+  and a list append; a pop drains an entire same-timestamp bucket in one
+  pass (*batched dispatch*).  Classic calendar queues quantize timestamps
+  into fixed-width bins and sort within a bin; we key buckets on the
+  exact float instead, which degenerates the intra-bucket sort away
+  entirely (see the determinism argument below) and keeps float
+  comparisons bit-exact.
+* **Overflow tier** -- entries at or beyond a sliding ``horizon`` go to a
+  conventional ``(when, seq, entry)`` min-heap.  Far-future events
+  (watchdog deadlines, end-of-day markers) are rare, so they can afford
+  heap ordering; keeping them out of the near tier bounds the
+  distinct-times heap to the active window.  When the near tier drains,
+  the horizon advances by ``span`` past the earliest overflow entry and
+  everything inside the new window migrates into near buckets.
+
+Determinism argument
+--------------------
+
+The engine's contract is the ``(when, seq)`` total order of the old
+heapq: events fire in timestamp order, ties broken by schedule order.
+The calendar preserves it structurally rather than by sorting:
+
+1. Sequence numbers are assigned in push order, so within one bucket the
+   list-append order *is* the sequence order -- no sort needed.
+2. Near buckets hold only ``when < horizon`` and overflow only
+   ``when >= horizon`` (the horizon never moves backwards), so a
+   timestamp can never be split across tiers out of order: by the time a
+   near push to timestamp *t* is possible, every overflow entry at *t*
+   has already migrated -- and migration itself pops the overflow heap
+   in ``(when, seq)`` order, appending to buckets in sequence order.
+3. The distinct-times heap yields buckets in strictly increasing
+   timestamp order, and every near timestamp is below every overflow
+   timestamp (point 2), so batch dispatch visits timestamps globally in
+   order.
+
+Entries pushed *to the timestamp currently being dispatched* (a process
+scheduling another process at the same instant) land in a fresh bucket
+which the consumer pops on its next iteration -- exactly where the heapq
+would have dispatched them, after the already-queued ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+DEFAULT_SPAN = 64.0
+
+
+class CalendarQueue:
+    """Exact-timestamp buckets + distinct-times heap + far-future overflow.
+
+    The engine's run loop reaches into ``buckets`` / ``times`` /
+    ``horizon`` directly (they are plain attributes by design -- the hot
+    path cannot afford method calls); everything else should go through
+    :meth:`push` / :meth:`peek_when` / :meth:`pop_batch`.
+
+    Entries are opaque to the calendar: it orders them by the ``when``
+    passed to :meth:`push` and preserves push order within a timestamp.
+    """
+
+    __slots__ = ("buckets", "times", "overflow", "horizon", "span", "_far_seq")
+
+    def __init__(self, span: float = DEFAULT_SPAN):
+        if span <= 0:
+            raise ValueError(f"calendar span must be positive, got {span}")
+        self.buckets: dict = {}
+        self.times: List[float] = []
+        self.overflow: List[Tuple[float, int, Any]] = []
+        self.horizon = span
+        self.span = span
+        # Overflow needs an explicit tie-break; near buckets get ordering
+        # for free from list append order.
+        self._far_seq = 0
+
+    def push(self, when: float, entry: Any) -> None:
+        """Insert ``entry`` at timestamp ``when`` (push order preserved)."""
+        if when < self.horizon:
+            bucket = self.buckets.get(when)
+            if bucket is None:
+                self.buckets[when] = [entry]
+                heapq.heappush(self.times, when)
+            else:
+                bucket.append(entry)
+        else:
+            self.push_far(when, entry)
+
+    def push_far(self, when: float, entry: Any) -> None:
+        seq = self._far_seq
+        self._far_seq = seq + 1
+        heapq.heappush(self.overflow, (when, seq, entry))
+
+    def advance(self) -> None:
+        """Slide the horizon past the earliest overflow entry and migrate.
+
+        Precondition: the near tier is empty (the engine only advances
+        when ``times`` drains, which also guarantees no near timestamp is
+        skipped).  Migration pops the overflow heap in ``(when, seq)``
+        order, so bucket append order stays sequence order.
+        """
+        overflow = self.overflow
+        horizon = overflow[0][0] + self.span
+        buckets = self.buckets
+        times = self.times
+        while overflow and overflow[0][0] < horizon:
+            when, _, entry = heapq.heappop(overflow)
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [entry]
+                heapq.heappush(times, when)
+            else:
+                bucket.append(entry)
+        self.horizon = horizon
+
+    def peek_when(self) -> Optional[float]:
+        """The next timestamp to dispatch, or ``None`` when empty."""
+        if not self.times:
+            if not self.overflow:
+                return None
+            self.advance()
+        return self.times[0]
+
+    def pop_batch(self) -> Tuple[float, list]:
+        """Remove and return ``(when, entries)`` for the earliest timestamp.
+
+        Raises ``IndexError`` when the calendar is empty, mirroring
+        ``heapq.heappop`` on an empty heap.
+        """
+        if not self.times:
+            if not self.overflow:
+                raise IndexError("pop from an empty calendar")
+            self.advance()
+        when = heapq.heappop(self.times)
+        return when, self.buckets.pop(when)
+
+    def __bool__(self) -> bool:
+        return bool(self.times or self.overflow)
+
+    def pending_count(self) -> int:
+        """Total queued entries (test/diagnostic helper, O(buckets))."""
+        return sum(len(b) for b in self.buckets.values()) + len(self.overflow)

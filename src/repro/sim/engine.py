@@ -1,11 +1,19 @@
 """A deterministic discrete-event simulation engine.
 
-The engine is intentionally small: a priority queue of timestamped events
-plus generator-based processes.  Processes are plain Python generators that
-``yield`` either a delay (``float``/``int`` seconds of virtual time) or an
-:class:`Event` to wait on.  Determinism matters for the reproduction -- two
-runs with the same seed must produce identical schedules -- so ties in the
-event queue are broken by a monotonically increasing sequence number.
+The engine is intentionally small: generator-based processes scheduled on
+a bucketed event calendar (:mod:`repro.sim.calendar`).  Processes are
+plain Python generators that ``yield`` either a delay (``float``/``int``
+seconds of virtual time) or an :class:`Event` to wait on.  Determinism
+matters for the reproduction -- two runs with the same seed must produce
+identical schedules -- so events dispatch in ``(when, seq)`` order: time
+order with ties broken by schedule order, exactly the contract of the
+original single-heapq loop (kept verbatim in :mod:`repro.sim.reference`).
+
+The calendar core exists for fleet scale: same-timestamp buckets are
+drained in one batched pass instead of one heap pop per event, and the
+dominant ``yield <float>`` resume is dispatched inline in :meth:`run`
+with a reused entry tuple, so a step completion costs a dict lookup and
+a list append rather than two ``O(log n)`` heap operations.
 
 Three primitives support the fleet-resilience subsystem:
 
@@ -22,9 +30,10 @@ Three primitives support the fleet-resilience subsystem:
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.calendar import CalendarQueue
 
 
 class Interrupt(Exception):
@@ -108,14 +117,19 @@ class Process:
     returns, the process's completion event fires with the return value.
     """
 
-    __slots__ = ("sim", "name", "_generator", "done", "_epoch", "interrupted")
+    __slots__ = ("sim", "name", "_generator", "_send", "done", "_epoch", "interrupted")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         self.sim = sim
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
+        # Pre-bound ``generator.send`` so the run loop skips two attribute
+        # lookups per dispatch on the dominant resume path.
+        self._send = generator.send
         self.done = Event(sim)
-        # Bumped on interrupt so stale scheduled resumes are dropped.
+        # Bumped on interrupt *and* on termination, so a queued resume is
+        # stale iff its captured epoch mismatches -- one int compare in
+        # the run loop, no ``done.fired`` re-check needed.
         self._epoch = 0
         self.interrupted = False
 
@@ -138,9 +152,6 @@ class Process:
         self._advance(lambda: self._generator.throw(Interrupt(cause)))
         return True
 
-    def _resume(self, value: Any) -> None:
-        self._advance(lambda: self._generator.send(value))
-
     def _advance(self, step: Callable[[], Any]) -> None:
         # Span context for the observability layer: while the generator
         # runs, this process is the simulator's active process, so trace
@@ -148,59 +159,71 @@ class Process:
         previous = self.sim.active_process
         self.sim.active_process = self
         try:
-            self._advance_inner(step)
+            try:
+                yielded = step()
+            except StopIteration as stop:
+                self._epoch += 1  # retire: any queued resume is now stale
+                self.done.succeed(stop.value)
+                return
+            except Interrupt as interrupt:
+                # The generator let the interrupt propagate: terminated.
+                self._epoch += 1
+                self.done.succeed(interrupt)
+                return
+            self._handle_yield(yielded)
         finally:
             self.sim.active_process = previous
 
-    def _advance_inner(self, step: Callable[[], Any]) -> None:
-        try:
-            yielded = step()
-        except StopIteration as stop:
-            self.done.succeed(stop.value)
-            return
-        except Interrupt as interrupt:
-            # The generator let the interrupt propagate: terminated.
-            self.done.succeed(interrupt)
-            return
-        # Fast path first: ``yield <float>`` dominates the simulation's
-        # event volume (every step duration), so it skips both isinstance
-        # checks and the _schedule_resume indirection.
+    def _handle_yield(self, yielded: Any) -> None:
+        """Schedule the process's next resume according to what it yielded.
+
+        One ladder for every yield type: exact ``float``/``int`` take the
+        first branch, and well-behaved numeric *subclasses* fold into the
+        same delay path -- except ``bool``, which is an ``int`` subclass
+        by accident of history, not a duration: ``yield True`` is always
+        a bug (usually a mistyped ``yield event``), so it is rejected
+        loudly instead of silently sleeping 1.0s.
+        """
         cls = type(yielded)
         if cls is float or cls is int:
-            if yielded < 0:
-                raise ValueError(f"process {self.name!r} yielded negative delay {yielded}")
-            sim = self.sim
-            heapq.heappush(
-                sim._queue,
-                (sim._now + yielded, next(sim._sequence), self._epoch, self, None),
-            )
+            delay = yielded
         elif isinstance(yielded, Event):
             yielded._add_waiter(self)
+            return
         elif isinstance(yielded, Process):
             yielded.done._add_waiter(self)
-        elif isinstance(yielded, (int, float)):  # int/float subclasses
-            if yielded < 0:
-                raise ValueError(f"process {self.name!r} yielded negative delay {yielded}")
-            self.sim._schedule_resume(self, None, delay=float(yielded))
+            return
+        elif cls is not bool and isinstance(yielded, (int, float)):
+            delay = float(yielded)
         else:
+            detail = (
+                f"a bool ({yielded!r}), which is never a delay"
+                if cls is bool
+                else cls.__name__
+            )
             raise TypeError(
-                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                f"process {self.name!r} yielded {detail}; "
                 "expected a delay, Event, or Process"
             )
+        if delay < 0:
+            raise ValueError(f"process {self.name!r} yielded negative delay {delay}")
+        sim = self.sim
+        sim._calendar.push(sim._now + delay, (self._epoch, self, None))
 
 
 class Simulator:
-    """The event loop: a virtual clock plus a deterministic event queue."""
+    """The event loop: a virtual clock plus a deterministic event calendar."""
 
     def __init__(self):
         self._now = 0.0
-        # Two entry shapes share the heap, dispatched by length in run():
-        #   (when, seq, timer, callback)        -- Timer entries
-        #   (when, seq, epoch, process, value)  -- pre-bound process resumes
-        # The (when, seq) prefix is unique (seq is monotonic), so heap
-        # comparisons never reach the mixed third element.
-        self._queue: List[tuple] = []
-        self._sequence = itertools.count()
+        # Three entry shapes share the calendar, dispatched by length and
+        # then by the first element's type in run():
+        #   (epoch, process, value)  -- pre-bound process resumes
+        #   (timer, callback)        -- Timer entries
+        #   (event, value)           -- pre-bound timeout completions
+        # Ordering lives entirely in the calendar (when + push order), so
+        # entries carry no timestamps or sequence numbers of their own.
+        self._calendar = CalendarQueue()
         #: The process whose generator is currently advancing, if any --
         #: the span context the observability layer stamps onto trace
         #: events emitted from inside simulation processes.
@@ -222,7 +245,7 @@ class Simulator:
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process; it first runs at the current virtual time."""
         process = Process(self, generator, name=name)
-        self._schedule_resume(process, None)
+        self._calendar.push(self._now, (process._epoch, process, None))
         return process
 
     def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
@@ -230,16 +253,26 @@ class Simulator:
         if when < self._now:
             raise ValueError(f"cannot schedule at {when} before now={self._now}")
         timer = Timer(when)
-        heapq.heappush(self._queue, (when, next(self._sequence), timer, callback))
+        self._calendar.push(when, (timer, callback))
         return timer
 
     def call_in(self, delay: float, callback: Callable[[], None]) -> Timer:
         return self.call_at(self._now + delay, callback)
 
     def timeout(self, delay: float, value: Any = None) -> Event:
-        """An event that fires after ``delay`` seconds of virtual time."""
-        event = self.event()
-        self.call_in(delay, lambda: event.succeed(value))
+        """An event that fires after ``delay`` seconds of virtual time.
+
+        The dominant deadline pattern, so it gets a pre-bound calendar
+        entry like process resumes do: no :class:`Timer`, no closure --
+        the run loop calls ``event.succeed(value)`` directly.  (It cannot
+        be cancelled, which is fine: nothing ever cancelled the closure
+        variant either, and waiters race it with :meth:`any_of`.)
+        """
+        when = self._now + delay
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} before now={self._now}")
+        event = Event(self)
+        self._calendar.push(when, (event, value))
         return event
 
     def all_of(self, events: Iterable[Event]) -> Event:
@@ -284,32 +317,101 @@ class Simulator:
         return combined
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run events until the queue drains or the clock passes ``until``.
+        """Run events until the calendar drains or the clock passes ``until``.
 
-        Returns the final virtual time.  Cancelled timers are discarded
-        without advancing the clock; a resume whose process moved on
-        (interrupted or finished) still advances the clock to its
-        timestamp, exactly as the closure-based entries did.
+        Returns the final virtual time.  Dispatch is batched: the whole
+        same-timestamp bucket is drained in one pass, in push order --
+        exactly the ``(when, seq)`` order of the reference heapq loop.
+        Entries scheduled *at the currently dispatching timestamp* land
+        in a fresh bucket popped on the next loop iteration, i.e. after
+        the already-queued ties, which again matches the heapq.
+
+        Cancelled timers are discarded without advancing the clock; a
+        resume whose process moved on (interrupted or finished) still
+        advances the clock to its timestamp, exactly as before.
+
+        The dominant ``yield <float>`` resume is inlined here: staleness
+        is one epoch compare, the generator's pre-bound ``send`` is
+        called directly, and when the process yields a plain delay its
+        entry tuple is pushed back verbatim (the ``(epoch, process,
+        None)`` triple is immutable across such hops), so the steady
+        state allocates nothing per event.
         """
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            entry = queue[0]
-            if len(entry) == 4 and entry[2].cancelled:
-                pop(queue)
-                continue
-            when = entry[0]
+        cal = self._calendar
+        buckets = cal.buckets
+        times = cal.times
+        horizon = cal.horizon
+        while True:
+            if not times:
+                if not cal.overflow:
+                    break
+                cal.advance()
+                horizon = cal.horizon
+            when = times[0]
             if until is not None and when > until:
                 self._now = until
-                return self._now
-            pop(queue)
-            self._now = when
-            if len(entry) == 4:
-                entry[3]()
-            else:
-                _, _, epoch, process, value = entry
-                if process._epoch == epoch and not process.done.fired:
-                    process._resume(value)
+                return until
+            heappop(times)
+            batch = buckets.pop(when)
+            for entry in batch:
+                if len(entry) == 3:
+                    epoch = entry[0]
+                    process = entry[1]
+                    if process._epoch != epoch:
+                        self._now = when
+                        continue
+                    self._now = when
+                    self.active_process = process
+                    try:
+                        yielded = process._send(entry[2])
+                    except StopIteration as stop:
+                        self.active_process = None
+                        process._epoch = epoch + 1
+                        process.done.succeed(stop.value)
+                        continue
+                    except Interrupt as interrupt:
+                        self.active_process = None
+                        process._epoch = epoch + 1
+                        process.done.succeed(interrupt)
+                        continue
+                    except BaseException:
+                        # A model bug escaping the generator: clear the
+                        # span context before propagating, as the old
+                        # ``_advance`` finally-block did.
+                        self.active_process = None
+                        raise
+                    self.active_process = None
+                    cls = type(yielded)
+                    if cls is float or cls is int:
+                        if yielded < 0:
+                            raise ValueError(
+                                f"process {process.name!r} yielded "
+                                f"negative delay {yielded}"
+                            )
+                        nxt = when + yielded
+                        if entry[2] is not None:
+                            entry = (epoch, process, None)
+                        if nxt < horizon:
+                            bucket = buckets.get(nxt)
+                            if bucket is None:
+                                buckets[nxt] = [entry]
+                                heappush(times, nxt)
+                            else:
+                                bucket.append(entry)
+                        else:
+                            cal.push_far(nxt, entry)
+                    else:
+                        process._handle_yield(yielded)
+                else:
+                    first = entry[0]
+                    if first.__class__ is Timer:
+                        if first.cancelled:
+                            continue
+                        self._now = when
+                        entry[1]()
+                    else:
+                        self._now = when
+                        first.succeed(entry[1])
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -321,13 +423,10 @@ class Simulator:
         delay: float = 0.0,
         epoch: Optional[int] = None,
     ) -> None:
-        """Queue a process resume as a pre-bound heap tuple.
+        """Queue a process resume as a pre-bound calendar entry.
 
-        No Timer, no closure: the staleness check (epoch mismatch or an
-        already-finished process) happens at dispatch time in :meth:`run`.
+        No Timer, no closure: the staleness check (epoch mismatch) happens
+        at dispatch time in :meth:`run`.
         """
         wait_epoch = process._epoch if epoch is None else epoch
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, next(self._sequence), wait_epoch, process, value),
-        )
+        self._calendar.push(self._now + delay, (wait_epoch, process, value))

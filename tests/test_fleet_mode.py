@@ -1,0 +1,253 @@
+"""Fleet-mode hot paths: batch placement and O(1) availability.
+
+PR8's cluster-layer amortizations trade per-placement scans for cached
+and incrementally maintained state.  These tests pin the equivalence
+claims down:
+
+* :meth:`BinPackingScheduler.place_batch` (and the :meth:`batch` context
+  generally) returns exactly the workers the unbatched sequential path
+  would, across generated request streams with interleaved releases.
+* A ``fleet_mode`` cluster's incremental availability count/mask agrees
+  with the ground-truth fleet scan at every observation point, through
+  quarantines, rehabilitation, sweep disables, host drains and repairs.
+* ``telemetry_mode="sampled"`` buffers observations but delivers the
+  *same* final graph-latency histogram as the exact path (bucket
+  increments commute), while actually flushing at sample boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.cluster import CpuWorker, TranscodeCluster, VcuWorker
+from repro.cluster.scheduler import BinPackingScheduler
+from repro.failures import FailureManager, FailureSweeper, FaultInjector
+from repro.sim.engine import Simulator
+from repro.transcode import PopularityBucket, build_transcode_graph
+from repro.vcu.chip import Vcu
+from repro.vcu.host import VcuHost
+from repro.vcu.spec import DEFAULT_VCU_SPEC
+from repro.video.frame import resolution
+
+SHAPES = [
+    {"millidecode": 250.0, "milliencode": 1200.0, "dram_bytes": 40e6},
+    {"millidecode": 500.0, "milliencode": 3750.0, "dram_bytes": 160e6},
+    {"millidecode": 120.0, "milliencode": 600.0, "dram_bytes": 20e6},
+    {"millidecode": 1000.0, "milliencode": 7500.0, "dram_bytes": 330e6},
+]
+
+
+def _make_scheduler(n=12):
+    workers = [
+        VcuWorker(Vcu(DEFAULT_VCU_SPEC, vcu_id=f"fm{n}-{i}")) for i in range(n)
+    ]
+    return BinPackingScheduler(workers)
+
+
+class TestBatchPlacementEquivalence:
+    @settings(deadline=None)
+    @given(rounds=st.lists(
+        st.tuples(
+            st.lists(st.integers(0, len(SHAPES) - 1), max_size=12),
+            st.integers(0, 6),
+        ),
+        max_size=6,
+    ))
+    def test_place_batch_matches_sequential_place(self, rounds):
+        """Rounds of (arrival batch, #releases): the batched scheduler and
+        a twin running the plain sequential path must make identical
+        decisions throughout."""
+        batched = _make_scheduler()
+        plain = _make_scheduler()
+        in_flight = []
+        for shape_ids, release_n in rounds:
+            requests = [SHAPES[i] for i in shape_ids]
+            got = batched.place_batch(requests)
+            want = [plain.place(request) for request in requests]
+            assert [w.name if w else None for w in got] == [
+                w.name if w else None for w in want
+            ]
+            for request, b_worker, p_worker in zip(requests, got, want):
+                if b_worker is not None:
+                    in_flight.append((request, b_worker, p_worker))
+            for _ in range(min(release_n, len(in_flight))):
+                request, b_worker, p_worker = in_flight.pop(0)
+                batched.release(b_worker, request)
+                plain.release(p_worker, request)
+
+    def test_release_inside_batch_is_visible(self):
+        """A release mid-batch invalidates the cached shape view -- the
+        next placement of that shape must see the freed capacity."""
+        scheduler = _make_scheduler(n=1)
+        capacity = scheduler.workers[0].resources.capacity["milliencode"]
+        request = {"milliencode": capacity}  # the whole device
+        with scheduler.batch():
+            first = scheduler.place(request)
+            assert first is not None
+            assert scheduler.place(request) is None  # device is full
+            scheduler.release(first, request)
+            assert scheduler.place(request) is not None
+
+    def test_nested_batch_joins_outer(self):
+        scheduler = _make_scheduler(n=2)
+        with scheduler.batch():
+            outer = scheduler._batch
+            with scheduler.batch():
+                assert scheduler._batch is outer
+            assert scheduler._batch is outer
+        assert scheduler._batch is None
+
+
+def _fleet_cluster(sim, hosts_n=3, **kwargs):
+    hosts = [VcuHost(host_id=f"fm-host{i}") for i in range(hosts_n)]
+    workers = [
+        VcuWorker(vcu, host=host) for host in hosts for vcu in host.vcus
+    ]
+    cpu_workers = [CpuWorker(cores=16) for _ in range(2)]
+    cluster = TranscodeCluster(
+        sim, workers, cpu_workers, fleet_mode=True, seed=5, **kwargs
+    )
+    return hosts, cluster
+
+
+def _upload(video_id):
+    return build_transcode_graph(
+        video_id=video_id, source=resolution("720p"), total_frames=300,
+        fps=30.0, bucket=PopularityBucket.WARM,
+    )
+
+
+def _assert_count_exact(cluster):
+    truth = sum(1 for w in cluster.vcu_workers if w.available())
+    assert cluster._available_count == truth
+    mask = cluster.availability_mask()
+    assert mask is not None and int(mask.sum()) == truth
+    for worker, bit in zip(cluster.vcu_workers, mask):
+        assert bool(bit) == worker.available()
+
+
+class TestFleetAvailability:
+    def test_initial_count_matches_scan(self):
+        sim = Simulator()
+        _, cluster = _fleet_cluster(sim)
+        _assert_count_exact(cluster)
+
+    def test_count_exact_through_fault_and_repair_storm(self):
+        """Corruptions, hangs, sweep disables, drains and repairs -- the
+        incremental count must equal the ground-truth scan at every
+        sample point and at the end."""
+        sim = Simulator()
+        hosts, cluster = _fleet_cluster(sim)
+        vcus = [vcu for host in hosts for vcu in host.vcus]
+        injector = FaultInjector(sim, vcus, seed=13)
+        # A deterministic early corruption guarantees a caught-corrupt
+        # quarantine; the random storms cover the rest of the paths.
+        injector.corrupt_at(0.5, vcus[0])
+        injector.random_corruptions(30.0, until=900.0)
+        injector.random_hangs(120.0, until=900.0, duration=30.0)
+        injector.random_hard_faults(2.0, until=900.0, count=3)
+        manager = FailureManager(hosts, repair_cap=2, card_swap_threshold=2)
+        sweeper = FailureSweeper(
+            sim, manager, interval_seconds=60.0, repair_seconds=300.0,
+            cluster=cluster,
+        )
+        sweeper.start(until=3600.0)
+
+        def submitter():
+            # Keep work arriving through the storm so faults land on
+            # *active* workers, not an idle fleet.
+            for i in range(30):
+                cluster.submit(_upload(f"storm-v{i}"))
+                yield 30.0
+
+        sim.process(submitter(), name="storm-submitter")
+        checks = []
+
+        def monitor():
+            while sim.now + 45.0 <= 3600.0:
+                yield 45.0
+                truth = sum(1 for w in cluster.vcu_workers if w.available())
+                checks.append((sim.now, cluster._available_count, truth))
+
+        sim.process(monitor(), name="fleet-monitor")
+        sim.run()
+        assert checks, "monitor never sampled"
+        for at, counted, truth in checks:
+            assert counted == truth, f"count drifted at t={at}"
+        _assert_count_exact(cluster)
+        # The storm actually exercised the mutation paths.
+        assert cluster.stats.workers_quarantined > 0
+        assert sweeper.sweeps > 0
+
+    def test_healthy_vcu_count_uses_incremental_count(self):
+        sim = Simulator()
+        _, cluster = _fleet_cluster(sim)
+        assert cluster.healthy_vcu_count() == cluster._available_count
+
+    def test_note_availability_changed_contract(self):
+        """Direct out-of-API mutation followed by the documented
+        notification keeps the count exact."""
+        sim = Simulator()
+        _, cluster = _fleet_cluster(sim)
+        worker = cluster.vcu_workers[0]
+        worker.vcu.disable()  # bypasses the health machine on purpose
+        cluster.note_availability_changed(worker)
+        _assert_count_exact(cluster)
+        worker.vcu.enable()
+        cluster.note_availability_changed(worker)
+        _assert_count_exact(cluster)
+
+
+class TestSampledTelemetry:
+    def _run_day(self, mode):
+        with obs.installed() as hub:
+            sim = Simulator()
+            _, cluster = _fleet_cluster(
+                sim, telemetry_mode=mode, telemetry_sample_seconds=5.0,
+            )
+            for i in range(10):
+                cluster.submit(_upload(f"tele-v{i}"))
+            sim.run()
+            hist = hub.metrics.histogram("cluster.graph_latency_seconds")
+            return cluster, (tuple(hist.counts), hist.total, hist.sum)
+
+    def test_sampled_graph_latencies_match_exact(self):
+        exact_cluster, exact_hist = self._run_day("exact")
+        sampled_cluster, sampled_hist = self._run_day("sampled")
+        assert exact_cluster.stats.completed_graphs == 10
+        assert sampled_cluster.stats.completed_graphs == 10
+        # Buffered observe_many delivers the identical final histogram.
+        assert sampled_hist == exact_hist
+
+    def test_sampler_flushes_and_terminates(self):
+        sim = Simulator()
+        _, cluster = _fleet_cluster(
+            sim, telemetry_mode="sampled", telemetry_sample_seconds=5.0,
+        )
+        cluster.submit(_upload("flush-v0"))
+        sim.run()  # terminates: the sampler stops once in-flight drains
+        telemetry = cluster._fleet_telemetry
+        assert telemetry is not None
+        assert telemetry.flushes > 0
+        assert telemetry._inflight == 0
+        assert not telemetry._running
+
+    def test_sampler_restarts_on_next_admission(self):
+        sim = Simulator()
+        _, cluster = _fleet_cluster(
+            sim, telemetry_mode="sampled", telemetry_sample_seconds=5.0,
+        )
+        cluster.submit(_upload("wave-1"))
+        sim.run()
+        flushes_after_first = cluster._fleet_telemetry.flushes
+        cluster.submit(_upload("wave-2"))
+        sim.run()
+        assert cluster._fleet_telemetry.flushes > flushes_after_first
+
+    def test_invalid_mode_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="telemetry_mode"):
+            TranscodeCluster(sim, [], telemetry_mode="bogus")
