@@ -7,11 +7,15 @@ reproduction's equivalent for the codebase itself: an AST-based lint
 engine whose rules encode the repo's runtime contracts so a PR cannot
 silently break them.
 
-Rules (each one guards an invariant another subsystem depends on):
+Per-file rules (each guards an invariant another subsystem depends on):
 
 * ``determinism``       -- all randomness flows through explicit
   ``np.random.Generator`` streams built by :mod:`repro.sim.rng`; no
   wall-clock reads outside the perf harness.
+* ``determinism-taint`` -- flow-sensitive companion to the above:
+  values *derived from* ambient time/RNG must not be returned, yielded,
+  or stored into object/module state (catches laundering through
+  locals and helper functions).
 * ``obs-hook``          -- every ``obs.active()`` result is None-checked
   before use and never captured beyond a local.
 * ``sim-yield``         -- engine process generators only yield
@@ -22,6 +26,20 @@ Rules (each one guards an invariant another subsystem depends on):
   never tolerance comparisons.
 * ``hygiene``           -- no mutable default arguments, no bare
   ``except:``.
+
+Whole-program passes (see :mod:`repro.analysis.project`) run over the
+full source tree and land findings in ordinary files:
+
+* ``layering``      -- package imports follow the declared architecture
+  DAG (:data:`repro.analysis.layering.ALLOWED_DEPS`); hard import-time
+  cycles are flagged separately.  ``repro-bench lint --graph`` emits the
+  computed graph as DOT or versioned JSON.
+* ``sim-race``      -- call graph rooted at ``Simulator.process`` spawn
+  sites: extends sim-yield checks across ``yield from`` chains and
+  flags shared mutable state written from two or more process roots.
+* ``state-machine`` -- the declared job-lifecycle and worker-health
+  transition tables are well-formed, every runtime transition site is
+  legal, and every declared transition has a site.
 
 The engine supports per-line and per-file pragma suppressions
 (``# lint: allow=<rule>``), a committed baseline of grandfathered
@@ -45,23 +63,47 @@ from repro.analysis.core import (
     register,
     run_lint,
 )
+from repro.analysis.project import (
+    ImportEdge,
+    ModuleInfo,
+    ProjectContext,
+    ProjectRule,
+    default_project_rules,
+    graph_document,
+    load_project,
+    register_project,
+    render_dot,
+)
 from repro.analysis.reporters import render_json, render_text
 
-# Importing the rules module populates the registry as a side effect.
+# Importing the rule modules populates the registries as a side effect.
 from repro.analysis import rules as _rules  # noqa: F401  (registration import)
+from repro.analysis import taint as _taint  # noqa: F401  (registration import)
+from repro.analysis import layering as _layering  # noqa: F401  (registration)
+from repro.analysis import races as _races  # noqa: F401  (registration import)
+from repro.analysis import machines as _machines  # noqa: F401  (registration)
 
 __all__ = [
     "Baseline",
     "DEFAULT_BASELINE_NAME",
     "FileContext",
     "Finding",
+    "ImportEdge",
     "LintResult",
+    "ModuleInfo",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "analyze_source",
+    "default_project_rules",
     "default_rules",
+    "graph_document",
     "imported_modules",
     "iter_python_files",
+    "load_project",
     "register",
+    "register_project",
+    "render_dot",
     "render_json",
     "render_text",
     "run_lint",

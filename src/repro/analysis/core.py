@@ -356,14 +356,29 @@ def iter_python_files(root: Path, targets: Sequence[str]) -> List[Path]:
     return sorted(set(files))
 
 
+#: Targets the whole-program passes are built from.  Project rules
+#: always see the full source tree (never a narrowed --changed-only
+#: selection): an architecture cycle or a cross-module race is a
+#: property of the program, not of the files that happened to change.
+PROJECT_TARGETS: Tuple[str, ...] = ("src",)
+
+
 def run_lint(
     root: Path,
     targets: Optional[Sequence[str]] = None,
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional["Baseline"] = None,
+    project_rules: Optional[Sequence["object"]] = None,
 ) -> LintResult:
-    """Lint ``targets`` under ``root`` and fold in a baseline if given."""
+    """Lint ``targets`` under ``root`` and fold in a baseline if given.
+
+    Per-file rules run over ``targets``; whole-program rules (see
+    :mod:`repro.analysis.project`) run over :data:`PROJECT_TARGETS`
+    regardless, falling back to ``targets`` for fixture roots with no
+    ``src/``.  Pass ``project_rules=[]`` to disable them.
+    """
     from repro.analysis.baseline import Baseline  # local: avoid import cycle
+    from repro.analysis import project as project_mod
 
     root = Path(root)
     files = iter_python_files(root, list(targets) if targets else list(DEFAULT_TARGETS))
@@ -380,6 +395,33 @@ def run_lint(
             continue
         all_findings.extend(findings)
         suppressed += file_suppressed
+    active_project = (
+        list(project_rules)
+        if project_rules is not None
+        else project_mod.default_project_rules()
+    )
+    if active_project:
+        project, project_errors = project_mod.load_project(root, PROJECT_TARGETS)
+        if not project.modules and targets:
+            project, project_errors = project_mod.load_project(root, list(targets))
+        for error in project_errors:
+            if error not in errors:
+                errors.append(error)
+        pragma_cache: Dict[str, _Pragmas] = {}
+        for rule in active_project:
+            for finding in rule.check(project):  # type: ignore[attr-defined]
+                pragmas = pragma_cache.get(finding.path)
+                if pragmas is None:
+                    info = project.module_for_path(finding.path)
+                    pragmas = (
+                        _collect_pragmas(info.source) if info is not None else _Pragmas()
+                    )
+                    pragma_cache[finding.path] = pragmas
+                if pragmas.suppresses(finding):
+                    suppressed += 1
+                else:
+                    all_findings.append(finding)
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     effective = baseline if baseline is not None else Baseline.empty()
     new_findings, grandfathered = effective.filter(all_findings)
     return LintResult(

@@ -1,0 +1,649 @@
+"""State-machine verifier: declared transition tables vs. runtime sites.
+
+The repo hand-maintains two production state machines -- the job
+lifecycle (``repro.control.jobs.LEGAL_TRANSITIONS``) and the worker
+health ladder (``repro.cluster.health.LEGAL_HEALTH_TRANSITIONS``) --
+and enforces them only at runtime, deep inside a simulated day.  This
+pass proves the static picture instead:
+
+* **Table well-formedness** -- every enum member has an entry, every
+  entry names real members, no declared self-loops (the choke points
+  no-op same-state sets), every state reachable from the initial set.
+* **Site legality** -- every call site of the choke method (or a
+  declared wrapper) with a literal target is checked against the table.
+  Where the surrounding code narrows the source state (``if self.health
+  is not QUARANTINED: raise`` and ``in (...)``/``not in (...)`` guards,
+  including early-exit branches), each possible (source, target) pair
+  must be declared; unguarded sites are checked for target
+  *enterability* and left to the runtime choke for the rest.
+* **Coverage** -- every declared transition must be performable by at
+  least one site, so dead table entries (or missing implementations)
+  surface at lint time, not in a post-mortem.
+* **Choke discipline** -- no assignment writes the state attribute
+  outside the choke method (``__init__`` may set an initial state);
+  calls with a non-literal target are only legal inside the declared
+  choke/wrapper bodies.
+
+Adding a machine is one :class:`MachineSpec` in ``DEFAULT_MACHINES``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.core import Finding
+from repro.analysis.project import (
+    ModuleInfo,
+    ProjectContext,
+    ProjectRule,
+    register_project,
+)
+
+__all__ = ["DEFAULT_MACHINES", "MachineSpec", "StateMachineRule"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One hand-maintained state machine and where its pieces live."""
+
+    name: str  # human handle used in messages
+    enum_module: str  # module defining the state enum
+    enum_name: str  # e.g. "JobState"
+    table_module: str  # module declaring the transition table
+    table_name: str  # e.g. "LEGAL_TRANSITIONS"
+    choke_module: str  # module defining the choke point
+    choke_class: str  # class owning the choke method
+    choke_method: str  # the one method allowed to write the state
+    state_attr: str  # attribute holding the state, e.g. "state"
+    initial: Tuple[str, ...]  # members legal as constructed state
+    #: (module, class, method) triples that forward to the choke with a
+    #: dynamic argument; their call sites are treated as choke calls.
+    wrappers: Tuple[Tuple[str, str, str], ...] = ()
+    #: Top-level packages whose modules are scanned for sites and stray
+    #: writes; keeps generic method names from matching unrelated code.
+    scope_packages: Tuple[str, ...] = ()
+
+
+JOB_LIFECYCLE = MachineSpec(
+    name="job-lifecycle",
+    enum_module="repro.control.jobs",
+    enum_name="JobState",
+    table_module="repro.control.jobs",
+    table_name="LEGAL_TRANSITIONS",
+    choke_module="repro.control.jobs",
+    choke_class="Job",
+    choke_method="transition",
+    state_attr="state",
+    initial=("QUEUED",),
+    wrappers=(("repro.control.queue", "JobLedger", "transition"),),
+    scope_packages=("control",),
+)
+
+WORKER_HEALTH = MachineSpec(
+    name="worker-health",
+    enum_module="repro.cluster.health",
+    enum_name="HealthState",
+    table_module="repro.cluster.health",
+    table_name="LEGAL_HEALTH_TRANSITIONS",
+    choke_module="repro.cluster.worker",
+    choke_class="VcuWorker",
+    choke_method="_set_health",
+    state_attr="health",
+    initial=("HEALTHY",),
+    scope_packages=("cluster",),
+)
+
+DEFAULT_MACHINES: Tuple[MachineSpec, ...] = (JOB_LIFECYCLE, WORKER_HEALTH)
+
+
+@dataclass
+class _Site:
+    """One runtime transition call with a literal target."""
+
+    path: str
+    line: int
+    col: int
+    target: str
+    sources: Optional[FrozenSet[str]]  # None = unguarded (any state)
+
+
+@register_project
+class StateMachineRule(ProjectRule):
+    """Prove declared transition tables and runtime sites agree."""
+
+    id = "state-machine"
+    summary = (
+        "transition tables are well-formed, every site is legal, every "
+        "declared transition has a site, state writes go through the choke"
+    )
+
+    def __init__(self, specs: Optional[Sequence[MachineSpec]] = None) -> None:
+        self.specs = tuple(DEFAULT_MACHINES if specs is None else specs)
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for spec in self.specs:
+            findings.extend(_MachineCheck(self.id, spec, project).run())
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return iter(findings)
+
+
+class _MachineCheck:
+    def __init__(self, rule_id: str, spec: MachineSpec, project: ProjectContext):
+        self.rule_id = rule_id
+        self.spec = spec
+        self.project = project
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        spec = self.spec
+        enum_mod = self.project.modules.get(spec.enum_module)
+        if enum_mod is None:
+            return []  # machine not present in this project (fixtures)
+        members = self._enum_members(enum_mod)
+        if members is None:
+            self._emit(
+                enum_mod.path, 1, 0,
+                f"[{spec.name}] enum '{spec.enum_name}' not found in "
+                f"{spec.enum_module}",
+            )
+            return self.findings
+        table_mod = self.project.modules.get(spec.table_module)
+        table = self._declared_table(table_mod, members) if table_mod else None
+        if table is None:
+            anchor = table_mod or enum_mod
+            self._emit(
+                anchor.path, 1, 0,
+                f"[{spec.name}] transition table '{spec.table_name}' not "
+                f"found in {spec.table_module}; declare it so transitions "
+                "are verifiable",
+            )
+            return self.findings
+        declared, table_line = table
+        self._check_well_formed(members, declared, table_mod, table_line)
+        sites = self._collect_sites(members)
+        self._check_legality(members, declared, sites)
+        self._check_coverage(members, declared, sites, table_mod, table_line)
+        self._check_stray_writes(members)
+        return self.findings
+
+    def _emit(self, path: str, line: int, col: int, message: str) -> None:
+        self.findings.append(
+            Finding(rule=self.rule_id, path=path, line=line, col=col,
+                    message=message)
+        )
+
+    # -- extraction ------------------------------------------------------- #
+
+    def _enum_members(self, info: ModuleInfo) -> Optional[List[str]]:
+        cls = info.classes.get(self.spec.enum_name)
+        if cls is None:
+            return None
+        members: List[str] = []
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                        members.append(target.id)
+        return members or None
+
+    def _member_literal(self, expr: ast.expr, members: Sequence[str]) -> Optional[str]:
+        """``EnumName.MEMBER`` (or ``mod.EnumName.MEMBER``) -> member name."""
+        if not isinstance(expr, ast.Attribute) or expr.attr not in members:
+            return None
+        base = expr.value
+        if isinstance(base, ast.Name) and base.id == self.spec.enum_name:
+            return expr.attr
+        if isinstance(base, ast.Attribute) and base.attr == self.spec.enum_name:
+            return expr.attr
+        return None
+
+    def _declared_table(
+        self, info: ModuleInfo, members: Sequence[str]
+    ) -> Optional[Tuple[Dict[str, Tuple[str, ...]], int]]:
+        for stmt in info.tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if not (
+                isinstance(target, ast.Name)
+                and target.id == self.spec.table_name
+                and isinstance(value, ast.Dict)
+            ):
+                continue
+            table: Dict[str, Tuple[str, ...]] = {}
+            for key_expr, value_expr in zip(value.keys, value.values):
+                key = self._member_literal(key_expr, members) if key_expr else None
+                if key is None:
+                    self._emit(
+                        info.path, getattr(key_expr, "lineno", stmt.lineno), 0,
+                        f"[{self.spec.name}] {self.spec.table_name} key is "
+                        f"not a {self.spec.enum_name} member literal",
+                    )
+                    continue
+                targets: List[str] = []
+                elts = (
+                    value_expr.elts
+                    if isinstance(value_expr, (ast.Tuple, ast.List, ast.Set))
+                    else [value_expr]
+                )
+                for elt in elts:
+                    member = self._member_literal(elt, members)
+                    if member is None:
+                        self._emit(
+                            info.path, getattr(elt, "lineno", stmt.lineno), 0,
+                            f"[{self.spec.name}] {self.spec.table_name}"
+                            f"[{key}] contains a non-member entry",
+                        )
+                        continue
+                    targets.append(member)
+                table[key] = tuple(targets)
+            return table, stmt.lineno
+        return None
+
+    # -- well-formedness --------------------------------------------------- #
+
+    def _check_well_formed(
+        self,
+        members: Sequence[str],
+        declared: Dict[str, Tuple[str, ...]],
+        info: ModuleInfo,
+        line: int,
+    ) -> None:
+        spec = self.spec
+        for member in members:
+            if member not in declared:
+                self._emit(
+                    info.path, line, 0,
+                    f"[{spec.name}] state '{member}' has no entry in "
+                    f"{spec.table_name}; declare its outgoing transitions "
+                    "(empty tuple for terminal states)",
+                )
+        for source, targets in sorted(declared.items()):
+            if source in targets:
+                self._emit(
+                    info.path, line, 0,
+                    f"[{spec.name}] declared self-loop '{source} -> "
+                    f"{source}'; the choke point no-ops same-state sets, "
+                    "remove the entry",
+                )
+        for member in spec.initial:
+            if member not in members:
+                self._emit(
+                    info.path, line, 0,
+                    f"[{spec.name}] initial state '{member}' is not a "
+                    f"{spec.enum_name} member",
+                )
+        reachable: Set[str] = set(m for m in spec.initial if m in members)
+        frontier = list(reachable)
+        while frontier:
+            state = frontier.pop()
+            for target in declared.get(state, ()):
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        for member in members:
+            if member not in reachable:
+                self._emit(
+                    info.path, line, 0,
+                    f"[{spec.name}] state '{member}' is unreachable from "
+                    f"initial {{{', '.join(spec.initial)}}}; every state "
+                    "must be enterable or deleted",
+                )
+
+    # -- site collection ---------------------------------------------------- #
+
+    def _scoped_modules(self) -> List[ModuleInfo]:
+        out = []
+        for info in self.project.iter_modules():
+            pkg = info.package
+            if not self.spec.scope_packages or (
+                pkg is not None and pkg in self.spec.scope_packages
+            ):
+                out.append(info)
+        return out
+
+    def _is_choke_or_wrapper(
+        self, module: str, cls: Optional[str], method: str
+    ) -> bool:
+        spec = self.spec
+        if (
+            module == spec.choke_module
+            and cls == spec.choke_class
+            and method == spec.choke_method
+        ):
+            return True
+        return (module, cls, method) in {
+            (m, c, f) for m, c, f in spec.wrappers
+        }
+
+    def _collect_sites(self, members: Sequence[str]) -> List[_Site]:
+        spec = self.spec
+        method_names = {spec.choke_method} | {m for _, _, m in spec.wrappers}
+        sites: List[_Site] = []
+        for info in self._scoped_modules():
+            for qual, func in sorted(
+                {**info.functions, **info.methods}.items()
+            ):
+                cls = qual.split(".", 1)[0] if "." in qual else None
+                method = qual.split(".", 1)[1] if "." in qual else qual
+                exempt = self._is_choke_or_wrapper(info.name, cls, method)
+                narrower = _GuardNarrower(
+                    self, members, info, func, method_names, sites, exempt
+                )
+                narrower.walk(func.body, {})
+        return sites
+
+    # -- legality / coverage ------------------------------------------------ #
+
+    def _check_legality(
+        self,
+        members: Sequence[str],
+        declared: Dict[str, Tuple[str, ...]],
+        sites: List[_Site],
+    ) -> None:
+        spec = self.spec
+        enterable = {t for targets in declared.values() for t in targets}
+        for site in sites:
+            if site.sources is not None:
+                for source in sorted(site.sources):
+                    if source == site.target:
+                        continue  # same-state set: the choke no-ops it
+                    if site.target not in declared.get(source, ()):
+                        self._emit(
+                            site.path, site.line, site.col,
+                            f"[{spec.name}] transition site performs "
+                            f"'{source} -> {site.target}', which "
+                            f"{spec.table_name} does not declare",
+                        )
+            elif site.target not in enterable:
+                self._emit(
+                    site.path, site.line, site.col,
+                    f"[{spec.name}] transition site targets "
+                    f"'{site.target}', which no declared transition "
+                    "enters; the runtime choke would raise on every call",
+                )
+
+    def _check_coverage(
+        self,
+        members: Sequence[str],
+        declared: Dict[str, Tuple[str, ...]],
+        sites: List[_Site],
+        info: ModuleInfo,
+        line: int,
+    ) -> None:
+        spec = self.spec
+        for source in sorted(declared):
+            for target in declared[source]:
+                covered = any(
+                    site.target == target
+                    and (site.sources is None or source in site.sources)
+                    for site in sites
+                )
+                if not covered:
+                    self._emit(
+                        info.path, line, 0,
+                        f"[{spec.name}] declared transition '{source} -> "
+                        f"{target}' has no runtime site; remove the dead "
+                        "table entry or implement the transition",
+                    )
+
+    # -- stray writes -------------------------------------------------------- #
+
+    def _check_stray_writes(self, members: Sequence[str]) -> None:
+        spec = self.spec
+        for info in self._scoped_modules():
+            for qual, func in sorted({**info.functions, **info.methods}.items()):
+                cls = qual.split(".", 1)[0] if "." in qual else None
+                method = qual.split(".", 1)[1] if "." in qual else qual
+                if (
+                    info.name == spec.choke_module
+                    and cls == spec.choke_class
+                    and method == spec.choke_method
+                ):
+                    continue  # the choke itself writes the attribute
+                for node in ast.walk(func):
+                    targets: List[ast.expr] = []
+                    value: Optional[ast.expr] = None
+                    if isinstance(node, ast.Assign):
+                        targets, value = list(node.targets), node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        targets, value = [node.target], node.value
+                    elif isinstance(node, ast.AugAssign):
+                        targets, value = [node.target], node.value
+                    for target in targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and target.attr == spec.state_attr
+                        ):
+                            continue
+                        literal = (
+                            self._member_literal(value, members)
+                            if value is not None
+                            else None
+                        )
+                        in_choke_class = (
+                            info.name == spec.choke_module
+                            and cls == spec.choke_class
+                        )
+                        if literal is None and not in_choke_class:
+                            continue  # unrelated attribute named alike
+                        if method == "__init__" and literal in spec.initial:
+                            continue  # constructors may set an initial state
+                        self._emit(
+                            info.path, node.lineno, node.col_offset,
+                            f"[{spec.name}] direct write to "
+                            f"'{spec.state_attr}' bypasses "
+                            f"{spec.choke_class}.{spec.choke_method}; all "
+                            "transitions must go through the choke point",
+                        )
+
+    # helper used by _GuardNarrower
+    def member_literal(self, expr: ast.expr, members: Sequence[str]) -> Optional[str]:
+        return self._member_literal(expr, members)
+
+
+class _GuardNarrower:
+    """Walk one function body tracking state-attr narrowing per owner.
+
+    The narrowing domain maps an *owner expression* (the text before
+    ``.state_attr`` -- ``self``, or the name of the object passed to a
+    wrapper) to the set of states it may hold on the current path.
+    ``None`` (absent) means "any state".
+    """
+
+    def __init__(
+        self,
+        check: _MachineCheck,
+        members: Sequence[str],
+        info: ModuleInfo,
+        func: ast.FunctionDef,
+        method_names: Set[str],
+        sites: List[_Site],
+        exempt: bool,
+    ):
+        self.check = check
+        self.spec = check.spec
+        self.members = tuple(members)
+        self.info = info
+        self.func = func
+        self.method_names = method_names
+        self.sites = sites
+        self.exempt = exempt
+
+    # -- guard interpretation --------------------------------------------- #
+
+    def _owner_of(self, expr: ast.expr) -> Optional[str]:
+        """``<owner>.<state_attr>`` -> textual owner, else None."""
+        if not (
+            isinstance(expr, ast.Attribute) and expr.attr == self.spec.state_attr
+        ):
+            return None
+        if isinstance(expr.value, ast.Name):
+            return expr.value.id
+        return None
+
+    def _narrow_test(
+        self, test: ast.expr, env: Dict[str, FrozenSet[str]]
+    ) -> Tuple[Dict[str, FrozenSet[str]], Dict[str, FrozenSet[str]]]:
+        """(then-env, else-env) after a guard."""
+        then_env = dict(env)
+        else_env = dict(env)
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            # Then-branch narrows through every conjunct; the else branch
+            # learns nothing (any conjunct may have failed).
+            for sub in test.values:
+                then_env, _ = self._narrow_test(sub, then_env)
+            return then_env, else_env
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            return then_env, else_env
+        owner = self._owner_of(test.left)
+        if owner is None:
+            return then_env, else_env
+        op = test.ops[0]
+        comparator = test.comparators[0]
+        universe = frozenset(self.members)
+        current = env.get(owner, universe)
+        if isinstance(op, (ast.Is, ast.Eq)):
+            member = self.check.member_literal(comparator, self.members)
+            if member is not None:
+                then_env[owner] = current & {member}
+                else_env[owner] = current - {member}
+        elif isinstance(op, (ast.IsNot, ast.NotEq)):
+            member = self.check.member_literal(comparator, self.members)
+            if member is not None:
+                then_env[owner] = current - {member}
+                else_env[owner] = current & {member}
+        elif isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+            comparator, (ast.Tuple, ast.List, ast.Set)
+        ):
+            group = frozenset(
+                m
+                for elt in comparator.elts
+                for m in [self.check.member_literal(elt, self.members)]
+                if m is not None
+            )
+            if group:
+                if isinstance(op, ast.In):
+                    then_env[owner] = current & group
+                    else_env[owner] = current - group
+                else:
+                    then_env[owner] = current - group
+                    else_env[owner] = current & group
+        return then_env, else_env
+
+    @staticmethod
+    def _always_exits(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+                return True
+        return False
+
+    # -- traversal ---------------------------------------------------------- #
+
+    def walk(
+        self, body: Sequence[ast.stmt], env: Dict[str, FrozenSet[str]]
+    ) -> None:
+        env = dict(env)
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes handled as their own functions
+            if isinstance(stmt, ast.If):
+                then_env, else_env = self._narrow_test(stmt.test, env)
+                self.walk(stmt.body, then_env)
+                self.walk(stmt.orelse, else_env)
+                # Early-exit narrowing: `if <bad>: return/raise` leaves the
+                # else-knowledge in force for the rest of the scope.
+                if self._always_exits(stmt.body) and not stmt.orelse:
+                    env = else_env
+                elif stmt.orelse and self._always_exits(stmt.orelse):
+                    env = then_env
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self.walk(stmt.body, env)
+                self.walk(stmt.orelse, env)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self.walk(stmt.body, env)
+                continue
+            if isinstance(stmt, ast.Try):
+                self.walk(stmt.body, env)
+                for handler in stmt.handlers:
+                    self.walk(handler.body, env)
+                self.walk(stmt.orelse, env)
+                self.walk(stmt.finalbody, env)
+                continue
+            self._scan_statement(stmt, env)
+
+    def _scan_statement(
+        self, stmt: ast.stmt, env: Dict[str, FrozenSet[str]]
+    ) -> None:
+        for node in ast.walk(stmt):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.method_names
+            ):
+                continue
+            target: Optional[str] = None
+            index: Optional[int] = None
+            for i, arg in enumerate(node.args):
+                member = self.check.member_literal(arg, self.members)
+                if member is not None:
+                    target, index = member, i
+                    break
+            if target is None:
+                for kw in node.keywords:
+                    member = (
+                        self.check.member_literal(kw.value, self.members)
+                        if kw.value is not None
+                        else None
+                    )
+                    if member is not None:
+                        target, index = member, 0 if kw.arg == "to" else 1
+                        break
+            if target is None:
+                if not self.exempt:
+                    self.check._emit(
+                        self.info.path, node.lineno, node.col_offset,
+                        f"[{self.spec.name}] call to "
+                        f"'{node.func.attr}' with a dynamic target state; "
+                        "only the declared choke/wrapper bodies may forward "
+                        "dynamically -- pass a literal member here",
+                    )
+                continue
+            # Owner: for a direct choke call the object before the dot;
+            # for a wrapper call (literal not in position 0) the first
+            # positional argument names the stateful object.
+            owner_expr: Optional[ast.expr]
+            if index == 0:
+                owner_expr = node.func.value
+            else:
+                owner_expr = node.args[0] if node.args else None
+            owner: Optional[str] = None
+            if isinstance(owner_expr, ast.Name):
+                owner = owner_expr.id
+            sources = env.get(owner) if owner is not None else None
+            self.sites.append(
+                _Site(
+                    path=self.info.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    target=target,
+                    sources=sources,
+                )
+            )

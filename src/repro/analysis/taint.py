@@ -1,0 +1,397 @@
+"""Flow-sensitive determinism taint: catch laundered ambient values.
+
+The per-file :class:`~repro.analysis.rules.DeterminismRule` flags the
+*call sites* of wall-clock and ambient-RNG sources.  That misses the
+laundering pattern::
+
+    def _stamp():
+        t = time.time()          # flagged by `determinism` (call site)
+        return t                 # ...but the taint escapes here
+
+    def build_id():
+        return f"job-{_stamp()}" # ...and spreads here, unflagged
+
+This pass tracks values *derived from* ambient sources through
+assignments, arithmetic, containers, tuple unpacking, and intra-module
+calls (a function whose return is tainted taints its call sites), and
+reports where taint escapes a local scope: function returns/yields,
+``self.*`` attribute stores, and module- or class-level state.
+
+Two deliberate scoping choices:
+
+* A seed on a line pragma'd for ``determinism`` (or this rule) is
+  *sanctioned* and does not start taint — the perf harness reads
+  ``time.perf_counter()`` behind pragmas and may do arithmetic on it
+  freely.  Suppressing the call site means "this ambient read is fine",
+  so its derivatives are too.
+* A finding is only raised when the escape line differs from the seed
+  line; same-line escapes (``return time.time()``) are already exactly
+  the `determinism` call-site finding, and double-reporting breeds
+  pragma noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    _collect_pragmas,
+    register,
+)
+from repro.analysis.rules import DeterminismRule, _functions
+
+__all__ = ["DeterminismTaintRule"]
+
+
+class _Prov(NamedTuple):
+    """Where a tainted value ultimately came from."""
+
+    desc: str  # dotted source, e.g. "time.time"
+    line: int  # line of the seeding call
+
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _scope_statements(stmts: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of one scope in source order, without entering defs."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, _NESTED_SCOPES):
+            continue
+        nested: List[ast.stmt] = []
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                nested.append(child)
+            elif isinstance(child, ast.ExceptHandler):
+                nested.extend(child.body)
+        if nested:
+            yield from _scope_statements(nested)
+
+
+@register
+class DeterminismTaintRule(Rule):
+    """Values derived from ambient time/RNG must not escape their scope."""
+
+    id = "determinism-taint"
+    summary = (
+        "values derived from wall-clock/ambient-RNG sources must not be "
+        "returned, yielded, or stored into object/module state"
+    )
+    exclude = ("src/repro/sim/rng.py",)
+
+    #: Same carve-out as the call-site rule: a test's own seeded
+    #: generator is a sanctioned source; wall clock stays banned.
+    NP_RANDOM_EXEMPT = DeterminismRule.NP_RANDOM_EXEMPT
+
+    _MAX_FIXPOINT_ROUNDS = 10
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        analysis = _ModuleTaint(self, ctx)
+        yield from analysis.run()
+
+    # -- seed classification -------------------------------------------- #
+
+    def seed_description(
+        self, node: ast.Call, ctx: FileContext, np_banned: bool
+    ) -> Optional[str]:
+        dotted = ctx.dotted(node.func)
+        if dotted is None:
+            return None
+        if dotted in DeterminismRule.WALL_CLOCK:
+            return dotted
+        if dotted.startswith("random."):
+            return dotted
+        if np_banned and dotted.startswith("numpy.random."):
+            func = dotted[len("numpy.random.") :]
+            if func[:1].islower():
+                return dotted
+        return None
+
+
+class _ModuleTaint:
+    """One module's taint analysis: per-scope dataflow + call fixpoint."""
+
+    def __init__(self, rule: DeterminismTaintRule, ctx: FileContext):
+        self.rule = rule
+        self.ctx = ctx
+        self.np_banned = not any(
+            fnmatch(ctx.path, pat) for pat in rule.NP_RANDOM_EXEMPT
+        )
+        self.pragmas = _collect_pragmas(ctx.source)
+        #: callable name -> provenance, for functions returning taint.
+        self.fn_taint: Dict[str, _Prov] = {}
+
+    def run(self) -> Iterator[Finding]:
+        functions = list(_functions(self.ctx.tree))
+        # Fixpoint over the intra-module call graph: a function whose
+        # return is tainted taints its callers' dataflow next round.
+        for _ in range(self.rule._MAX_FIXPOINT_ROUNDS):
+            changed = False
+            for func in functions:
+                _, ret = self._analyze_scope(func.body, emit=False)
+                if ret is not None and func.name not in self.fn_taint:
+                    self.fn_taint[func.name] = ret
+                    changed = True
+            if not changed:
+                break
+        findings: List[Finding] = []
+        for func in functions:
+            scope_findings, _ = self._analyze_scope(
+                func.body, emit=True, func_name=func.name
+            )
+            findings.extend(scope_findings)
+        findings.extend(self._check_module_and_class_state())
+        findings.sort(key=lambda f: (f.line, f.col, f.message))
+        return iter(findings)
+
+    # -- sanctioned seeds ------------------------------------------------ #
+
+    def _sanctioned(self, line: int) -> bool:
+        for rule_id in ("determinism", DeterminismTaintRule.id):
+            probe = Finding(
+                rule=rule_id, path=self.ctx.path, line=line, col=0, message=""
+            )
+            if self.pragmas.suppresses(probe):
+                return True
+        return False
+
+    # -- expression taint ------------------------------------------------ #
+
+    def _expr_taint(
+        self, expr: Optional[ast.expr], tainted: Dict[str, _Prov]
+    ) -> Optional[_Prov]:
+        if expr is None:
+            return None
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                desc = self.rule.seed_description(node, self.ctx, self.np_banned)
+                if desc is not None and not self._sanctioned(node.lineno):
+                    return _Prov(desc, node.lineno)
+                callee = self._callee_name(node.func)
+                if callee is not None and callee in self.fn_taint:
+                    return self.fn_taint[callee]
+            elif isinstance(node, ast.Name) and node.id in tainted:
+                return tainted[node.id]
+            elif isinstance(node, ast.Attribute):
+                pseudo = self._self_attr(node)
+                if pseudo is not None and pseudo in tainted:
+                    return tainted[pseudo]
+        return None
+
+    @staticmethod
+    def _callee_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            return func.attr
+        return None
+
+    @staticmethod
+    def _self_attr(node: ast.expr) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return f"self.{node.attr}"
+        return None
+
+    def _target_names(self, target: ast.expr) -> List[str]:
+        if isinstance(target, ast.Name):
+            return [target.id]
+        pseudo = self._self_attr(target)
+        if pseudo is not None:
+            return [pseudo]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: List[str] = []
+            for elt in target.elts:
+                if isinstance(elt, ast.Starred):
+                    elt = elt.value
+                out.extend(self._target_names(elt))
+            return out
+        return []
+
+    # -- scope analysis -------------------------------------------------- #
+
+    def _analyze_scope(
+        self,
+        body: Sequence[ast.stmt],
+        emit: bool,
+        func_name: Optional[str] = None,
+    ) -> Tuple[List[Finding], Optional[_Prov]]:
+        """Dataflow over one function scope.
+
+        Returns (findings-if-emitting, provenance of a tainted
+        return/yield if any).  Runs the statement scan to a local
+        fixpoint first so taint flows regardless of textual order
+        (loops can carry values backwards).
+        """
+        tainted: Dict[str, _Prov] = {}
+        for _ in range(self.rule._MAX_FIXPOINT_ROUNDS):
+            before = len(tainted)
+            self._scan(body, tainted, emit=False, findings=[], func_name=func_name)
+            if len(tainted) == before:
+                break
+        findings: List[Finding] = []
+        ret = self._scan(
+            body, tainted, emit=emit, findings=findings, func_name=func_name
+        )
+        return findings, ret
+
+    def _scan(
+        self,
+        body: Sequence[ast.stmt],
+        tainted: Dict[str, _Prov],
+        emit: bool,
+        findings: List[Finding],
+        func_name: Optional[str],
+    ) -> Optional[_Prov]:
+        escape: Optional[_Prov] = None
+
+        def store(target: ast.expr, prov: _Prov, stmt: ast.stmt) -> None:
+            for name in self._target_names(target):
+                tainted.setdefault(name, prov)
+                if (
+                    emit
+                    and name.startswith("self.")
+                    and prov.line != stmt.lineno
+                ):
+                    findings.append(
+                        Finding(
+                            rule=self.rule.id,
+                            path=self.ctx.path,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            message=(
+                                f"'{func_name}' stores a value derived from "
+                                f"ambient source '{prov.desc}' on "
+                                f"'{name}'; object state must be virtual-"
+                                "time/seeded-generator derived"
+                            ),
+                        )
+                    )
+
+        for stmt in _scope_statements(body):
+            if isinstance(stmt, ast.Assign):
+                prov = self._expr_taint(stmt.value, tainted)
+                if prov is not None:
+                    for target in stmt.targets:
+                        store(target, prov, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                prov = self._expr_taint(stmt.value, tainted)
+                if prov is not None:
+                    store(stmt.target, prov, stmt)
+            elif isinstance(stmt, ast.AugAssign):
+                prov = self._expr_taint(stmt.value, tainted)
+                if prov is not None:
+                    store(stmt.target, prov, stmt)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                prov = self._expr_taint(stmt.iter, tainted)
+                if prov is not None:
+                    store(stmt.target, prov, stmt)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    prov = self._expr_taint(item.context_expr, tainted)
+                    if prov is not None and item.optional_vars is not None:
+                        store(item.optional_vars, prov, stmt)
+            elif isinstance(stmt, ast.Return):
+                prov = self._expr_taint(stmt.value, tainted)
+                if prov is not None:
+                    escape = escape or prov
+                    if emit and prov.line != stmt.lineno:
+                        findings.append(
+                            Finding(
+                                rule=self.rule.id,
+                                path=self.ctx.path,
+                                line=stmt.lineno,
+                                col=stmt.col_offset,
+                                message=(
+                                    f"'{func_name}' returns a value derived "
+                                    f"from ambient source '{prov.desc}'; "
+                                    "determinism leaks to every caller -- "
+                                    "plumb sim.now or an explicit Generator"
+                                ),
+                            )
+                        )
+            elif isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, (ast.Yield, ast.YieldFrom)
+            ):
+                value = stmt.value.value
+                prov = self._expr_taint(value, tainted)
+                if prov is not None:
+                    escape = escape or prov
+                    if emit and prov.line != stmt.lineno:
+                        findings.append(
+                            Finding(
+                                rule=self.rule.id,
+                                path=self.ctx.path,
+                                line=stmt.lineno,
+                                col=stmt.col_offset,
+                                message=(
+                                    f"'{func_name}' yields a value derived "
+                                    f"from ambient source '{prov.desc}'; "
+                                    "determinism leaks to every consumer -- "
+                                    "plumb sim.now or an explicit Generator"
+                                ),
+                            )
+                        )
+        return escape
+
+    # -- module- and class-level state ----------------------------------- #
+
+    def _check_module_and_class_state(self) -> List[Finding]:
+        findings: List[Finding] = []
+        module_tainted: Dict[str, _Prov] = {}
+
+        def check_body(
+            stmts: Sequence[ast.stmt], owner: Optional[str]
+        ) -> None:
+            for stmt in _scope_statements(stmts):
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets = [stmt.target]
+                    value = stmt.value
+                else:
+                    continue
+                prov = self._expr_taint(value, module_tainted)
+                if prov is None:
+                    continue
+                for target in targets:
+                    for name in self._target_names(target):
+                        if owner is None:
+                            module_tainted.setdefault(name, prov)
+                        display = name if owner is None else f"{owner}.{name}"
+                        kind = "module-level" if owner is None else "class-level"
+                        if prov.line != stmt.lineno:
+                            findings.append(
+                                Finding(
+                                    rule=self.rule.id,
+                                    path=self.ctx.path,
+                                    line=stmt.lineno,
+                                    col=stmt.col_offset,
+                                    message=(
+                                        f"{kind} state '{display}' is seeded "
+                                        f"from ambient source '{prov.desc}'; "
+                                        "import-time ambient reads make runs "
+                                        "unreproducible"
+                                    ),
+                                )
+                            )
+
+        check_body(self.ctx.tree.body, owner=None)
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                check_body(node.body, owner=node.name)
+        return findings

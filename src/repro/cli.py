@@ -266,18 +266,75 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
     return 0 if result.scorecard["conservation.ok"] else 1
 
 
+def _changed_python_targets(root: object, base: str) -> Optional[List[str]]:
+    """Changed ``.py`` paths (vs ``base``) that fall under the lint targets.
+
+    Returns None when git is unavailable or the diff fails -- the caller
+    falls back to a full run rather than silently linting nothing.
+    """
+    import subprocess
+
+    from repro.analysis.core import DEFAULT_TARGETS
+
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            cwd=root, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    changed: List[str] = []
+    for line in proc.stdout.splitlines():
+        path = line.strip()
+        if not path.endswith(".py"):
+            continue
+        top = path.split("/", 1)[0]
+        if path in DEFAULT_TARGETS or top in DEFAULT_TARGETS:
+            changed.append(path)
+    return sorted(set(changed))
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_mod
     from pathlib import Path
 
     from repro.analysis import (
         DEFAULT_BASELINE_NAME,
         Baseline,
+        graph_document,
+        load_project,
+        render_dot,
         render_json,
         render_text,
         run_lint,
     )
 
     root = Path(args.root).resolve()
+
+    if args.graph:
+        project, parse_errors = load_project(root)
+        for error in parse_errors:
+            print(f"lint: {error}", file=sys.stderr)
+        if args.json:
+            print(json_mod.dumps(graph_document(project), indent=2, sort_keys=True))
+        else:
+            print(render_dot(project), end="")
+        return 2 if parse_errors else 0
+
+    targets = args.paths or None
+    if args.changed_only:
+        changed = _changed_python_targets(root, args.base)
+        if changed is None:
+            print("lint: --changed-only needs a git checkout; "
+                  "linting everything", file=sys.stderr)
+        elif not changed:
+            print(f"lint: no python files changed vs {args.base}; nothing to do")
+            return 0
+        else:
+            targets = changed
+
     baseline = Baseline.empty()
     use_baseline = args.baseline or args.baseline_file is not None
     baseline_path = root / (args.baseline_file or DEFAULT_BASELINE_NAME)
@@ -288,7 +345,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
         baseline = Baseline.load(baseline_path)
 
-    result = run_lint(root, targets=args.paths or None, baseline=baseline)
+    result = run_lint(root, targets=targets, baseline=baseline)
 
     if args.update_baseline:
         Baseline.from_findings(result.findings).save(baseline_path)
@@ -434,7 +491,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--update-baseline", action="store_true",
                       help="rewrite the baseline file from current findings")
     lint.add_argument("--json", action="store_true",
-                      help="emit the machine-readable JSON report")
+                      help="emit the machine-readable JSON report (with "
+                           "--graph: the versioned graph document)")
+    lint.add_argument(
+        "--graph", action="store_true",
+        help="emit the project import graph (DOT, or JSON with --json) "
+             "instead of linting",
+    )
+    lint.add_argument(
+        "--changed-only", action="store_true",
+        help="per-file rules only on files changed vs --base (whole-"
+             "program passes still see the full source tree)",
+    )
+    lint.add_argument("--base", default="HEAD", metavar="REF",
+                      help="git ref --changed-only diffs against "
+                           "(default: HEAD, i.e. staged+unstaged work)")
     lint.set_defaults(func=_cmd_lint)
     return parser
 

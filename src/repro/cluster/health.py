@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 
 class HealthState(enum.Enum):
@@ -37,6 +38,29 @@ class HealthState(enum.Enum):
     QUARANTINED = "quarantined"
     RESCREENING = "rescreening"
     DISABLED = "disabled"
+
+
+class IllegalHealthTransition(RuntimeError):
+    """A health-state set outside the declared transition table."""
+
+
+#: The declared worker-health transition table (the diagram above, as
+#: data).  ``VcuWorker._set_health`` enforces it at runtime and the
+#: ``state-machine`` lint pass verifies every call site against it
+#: statically -- edit this table and the lint run tells you which sites
+#: and tests the change invalidates.  Same-state sets are no-ops at the
+#: choke point, so no self-loops are declared.
+LEGAL_HEALTH_TRANSITIONS: Dict[HealthState, Tuple[HealthState, ...]] = {
+    HealthState.HEALTHY: (HealthState.SUSPECT, HealthState.QUARANTINED),
+    HealthState.SUSPECT: (HealthState.QUARANTINED,),
+    HealthState.QUARANTINED: (HealthState.RESCREENING,),
+    HealthState.RESCREENING: (
+        HealthState.HEALTHY,
+        HealthState.QUARANTINED,
+        HealthState.DISABLED,
+    ),
+    HealthState.DISABLED: (HealthState.QUARANTINED,),
+}
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,12 @@ from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro import obs
 from repro.baselines.cpu import SkylakeSystem
-from repro.cluster.health import HealthPolicy, HealthState
+from repro.cluster.health import (
+    LEGAL_HEALTH_TRANSITIONS,
+    HealthPolicy,
+    HealthState,
+    IllegalHealthTransition,
+)
 from repro.sim.resources import MultiResource
 from repro.vcu.chip import Vcu, VcuTask, processing_seconds, resource_request
 from repro.vcu.spec import VcuSpec
@@ -102,6 +107,11 @@ class VcuWorker(Worker):
         old = self.health
         if new is old:
             return
+        if new not in LEGAL_HEALTH_TRANSITIONS[old]:
+            raise IllegalHealthTransition(
+                f"{self.name}: health {old.value} -> {new.value} is not in "
+                "LEGAL_HEALTH_TRANSITIONS"
+            )
         self.health = new
         observer = self.on_availability_change
         if observer is not None:

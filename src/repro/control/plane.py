@@ -22,7 +22,17 @@ produce byte-identical ledgers and scorecards.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro import obs
 from repro.cluster.autoscale import CapacityAutoscaleConfig, CapacityAutoscaler
@@ -41,6 +51,10 @@ from repro.obs.registry import Histogram
 from repro.sim.engine import Simulator, Timer
 from repro.sim.rng import SeedLike, split_rng
 
+if TYPE_CHECKING:  # deferred: only needed for the cluster-backed executor
+    from repro.cluster.cluster import TranscodeCluster
+    from repro.transcode.pipeline import StepGraph
+
 #: Queue-wait histogram bounds (seconds): sub-second dispatch up to the
 #: hours-long waits a day-scale outage can produce.
 QUEUE_WAIT_BOUNDS: Tuple[float, ...] = (
@@ -50,6 +64,20 @@ QUEUE_WAIT_BOUNDS: Tuple[float, ...] = (
 
 #: A completion callback: (job, ok).
 DoneFn = Callable[[Job, bool], None]
+
+
+class Executor(Protocol):
+    """What the control plane needs from an execution backend.
+
+    ``start`` returns a cancellable handle when the backend supports
+    mid-flight cancellation (the modeled executor) and ``None`` when it
+    does not (the cluster-backed executor, whose graphs must drain).
+    """
+
+    def start(
+        self, job: Job, site: SiteRuntime, on_done: DoneFn
+    ) -> Optional[Timer]:
+        ...
 
 
 class ModeledExecutor:
@@ -96,8 +124,8 @@ class ClusterExecutor:
 
     def __init__(
         self,
-        cluster: "object",
-        graph_builder: Optional[Callable[[Job], "object"]] = None,
+        cluster: "TranscodeCluster",
+        graph_builder: Optional[Callable[[Job], "StepGraph"]] = None,
     ) -> None:
         self.cluster = cluster
         self._builder = graph_builder or default_graph_builder
@@ -110,7 +138,7 @@ class ClusterExecutor:
         self.cluster.submit(graph)
         return None
 
-    def _graph_done(self, graph: "object") -> None:
+    def _graph_done(self, graph: "StepGraph") -> None:
         entry = self._inflight.pop(id(graph), None)
         if entry is None:
             return  # a graph submitted outside the control plane
@@ -118,7 +146,7 @@ class ClusterExecutor:
         on_done(job, True)
 
 
-def default_graph_builder(job: Job) -> "object":
+def default_graph_builder(job: Job) -> "StepGraph":
     """A small deterministic upload graph sized by the job's demand."""
     from repro.transcode.modes import WorkloadClass
     from repro.transcode.pipeline import build_transcode_graph
@@ -146,7 +174,7 @@ class ControlPlane:
         retry: Optional[RetryPolicy] = None,
         autoscale: Optional[CapacityAutoscaleConfig] = None,
         autoscale_interval_seconds: float = 60.0,
-        executor: Optional[object] = None,
+        executor: Optional[Executor] = None,
         seed: SeedLike = 0,
     ) -> None:
         self.sim = sim
@@ -155,8 +183,8 @@ class ControlPlane:
         self.retry = retry or RetryPolicy()
         self.ledger = JobLedger()
         self.dead_letters = DeadLetterLedger()
-        self.executor = executor if executor is not None else ModeledExecutor(
-            sim, seed=seed,
+        self.executor: Executor = (
+            executor if executor is not None else ModeledExecutor(sim, seed=seed)
         )
         self._autoscaler = (
             CapacityAutoscaler(autoscale) if autoscale is not None else None
@@ -398,17 +426,22 @@ class ControlPlane:
         Horizon-bounded (like :class:`~repro.failures.management.
         FailureSweeper`) so a drained run's event queue actually empties.
         """
-        if self._autoscaler is None:
+        autoscaler = self._autoscaler
+        if autoscaler is None:
             raise RuntimeError("plane built without an autoscale config")
-        self.sim.process(self._autoscale_loop(until), name="control:autoscale")
+        self.sim.process(
+            self._autoscale_loop(autoscaler, until), name="control:autoscale"
+        )
 
-    def _autoscale_loop(self, until: float):
+    def _autoscale_loop(
+        self, autoscaler: CapacityAutoscaler, until: float
+    ) -> Generator[float, None, None]:
         while self.sim.now + self._autoscale_interval <= until:
             yield self._autoscale_interval
             for site in self.router.sites:  # name-sorted
                 if not site.up:
                     continue
-                new_slots = self._autoscaler.evaluate(
+                new_slots = autoscaler.evaluate(
                     site.name,
                     waiting=len(site.queue),
                     running=len(site.running),

@@ -51,7 +51,7 @@ would have dispatched them, after the already-queued ties.
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 DEFAULT_SPAN = 64.0
 
@@ -70,10 +70,10 @@ class CalendarQueue:
 
     __slots__ = ("buckets", "times", "overflow", "horizon", "span", "_far_seq")
 
-    def __init__(self, span: float = DEFAULT_SPAN):
+    def __init__(self, span: float = DEFAULT_SPAN) -> None:
         if span <= 0:
             raise ValueError(f"calendar span must be positive, got {span}")
-        self.buckets: dict = {}
+        self.buckets: Dict[float, List[Any]] = {}
         self.times: List[float] = []
         self.overflow: List[Tuple[float, int, Any]] = []
         self.horizon = span

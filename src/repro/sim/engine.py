@@ -248,15 +248,20 @@ class Simulator:
         self._calendar.push(self._now, (process._epoch, process, None))
         return process
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
-        """Schedule a plain callback at an absolute virtual time."""
+    def call_at(self, when: float, callback: Callable[[], object]) -> Timer:
+        """Schedule a plain callback at an absolute virtual time.
+
+        The callback's return value is discarded, so any callable works
+        (``object`` rather than ``None`` keeps value-returning lambdas
+        like ``lambda: plane.submit(r)`` well-typed at call sites).
+        """
         if when < self._now:
             raise ValueError(f"cannot schedule at {when} before now={self._now}")
         timer = Timer(when)
         self._calendar.push(when, (timer, callback))
         return timer
 
-    def call_in(self, delay: float, callback: Callable[[], None]) -> Timer:
+    def call_in(self, delay: float, callback: Callable[[], object]) -> Timer:
         return self.call_at(self._now + delay, callback)
 
     def timeout(self, delay: float, value: Any = None) -> Event:

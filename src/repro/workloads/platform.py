@@ -133,7 +133,7 @@ class PlatformDayWorkload:
         """
         # Imported here, not at module top: repro.control.scenario
         # imports this module, so a top-level import would be circular.
-        from repro.control.jobs import JobRequest, SloClass
+        from repro.control.jobs import JobRequest, SloClass  # lint: allow=layering -- sanctioned upward import: workloads produce control-plane JobRequests, control drives workloads
 
         config = self.config
         out: List[JobRequest] = []

@@ -72,7 +72,7 @@ class LadderDemandWorkload:
         """All arrivals before ``until``, merged and time-ordered."""
         # Imported here, not at module top: repro.control.live_ladder
         # imports this module, so a top-level import would be circular.
-        from repro.control.jobs import JobRequest, SloClass
+        from repro.control.jobs import JobRequest, SloClass  # lint: allow=layering -- sanctioned upward import: live streams produce control-plane JobRequests, control drives workloads
 
         config = self.config
         out: List[JobRequest] = []

@@ -1,0 +1,229 @@
+"""Flow-sensitive determinism-taint pass: TP / clean / pragma coverage.
+
+The per-call-site checks live with the plain ``determinism`` rule in
+test_analysis_rules.py; this suite is about *propagation* -- ambient
+values flowing through assignments, helper calls, object state, and
+module state before they leak.
+"""
+
+import textwrap
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.core import analyze_source
+from repro.analysis.taint import DeterminismTaintRule
+
+
+def taint(source, path="src/repro/fake.py"):
+    return analyze_source(
+        textwrap.dedent(source), path, [DeterminismTaintRule()]
+    )
+
+
+class TestTruePositives:
+    def test_wall_clock_leaks_through_return(self):
+        findings, _ = taint(
+            """\
+            import time
+
+
+            def stamp():
+                t = time.time()
+                return t
+            """
+        )
+        assert [(f.rule, f.line) for f in findings] == [("determinism-taint", 6)]
+        assert "time.time" in findings[0].message
+
+    def test_taint_propagates_through_assignment_chain(self):
+        findings, _ = taint(
+            """\
+            import time
+
+
+            def stamp():
+                a = time.time()
+                b = a * 1000.0
+                c = (b, "label")
+                return c
+            """
+        )
+        assert [f.line for f in findings] == [8]
+
+    def test_taint_crosses_function_boundaries(self):
+        findings, _ = taint(
+            """\
+            import time
+
+
+            def clock():
+                t = time.time()
+                return t
+
+
+            def caller():
+                x = clock()
+                return x
+            """
+        )
+        assert [f.line for f in findings] == [6, 11]
+
+    def test_ambient_rng_store_on_self(self):
+        findings, _ = taint(
+            """\
+            import random
+
+
+            class Sampler:
+                def reseed(self):
+                    draw = random.random()
+                    self.offset = draw
+            """
+        )
+        assert len(findings) == 1
+        assert "self.offset" in findings[0].message
+
+    def test_module_level_ambient_seed(self):
+        findings, _ = taint(
+            """\
+            import time
+
+            _BOOT = time.time()
+            START = _BOOT
+            """
+        )
+        assert any("module-level" in f.message for f in findings)
+
+    def test_tainted_yield_is_flagged(self):
+        findings, _ = taint(
+            """\
+            import time
+
+
+            def ticker():
+                t = time.time()
+                yield t
+            """
+        )
+        assert [f.line for f in findings] == [6]
+
+
+class TestCleanCases:
+    def test_virtual_time_is_not_tainted(self):
+        findings, _ = taint(
+            """\
+            def stamp(sim):
+                t = sim.now
+                return t
+            """
+        )
+        assert findings == []
+
+    def test_seeded_generator_draws_are_clean(self):
+        findings, _ = taint(
+            """\
+            def draw(rng):
+                x = rng.random()
+                y = x + 1.0
+                return y
+            """
+        )
+        assert findings == []
+
+    def test_reassignment_stays_conservatively_tainted(self):
+        # The fixpoint is accumulate-only (monotone, loop-safe): once a
+        # name has carried ambient data it stays suspect even after a
+        # clean rebind.  Pragma the sink if the rebind is intentional.
+        findings, _ = taint(
+            """\
+            import time
+
+
+            def stamp(sim):
+                t = time.time()
+                t = sim.now
+                return t
+            """
+        )
+        assert [f.line for f in findings] == [7]
+
+    def test_same_line_seed_is_left_to_the_per_file_rule(self):
+        # Seeding and leaking on one line is the plain determinism
+        # rule's call-site finding; taint only reports flows.
+        findings, _ = taint(
+            """\
+            import time
+
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert findings == []
+
+
+class TestPragmas:
+    def test_sanctioned_seed_does_not_taint(self):
+        findings, _ = taint(
+            """\
+            import time
+
+
+            def stamp():
+                t = time.time()  # lint: allow=determinism -- shim boundary
+                return t
+            """
+        )
+        assert findings == []
+
+    def test_sink_line_pragma_suppresses_the_leak(self):
+        findings, suppressed = taint(
+            """\
+            import time
+
+
+            def stamp():
+                t = time.time()
+                return t  # lint: allow=determinism-taint -- logged only
+            """
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_file_pragma_silences_the_pass(self):
+        findings, _ = taint(
+            """\
+            # lint: allow-file=determinism -- wall-clock shim module
+            import time
+
+
+            def stamp():
+                t = time.time()
+                return t
+            """
+        )
+        assert findings == []
+
+
+class TestProperties:
+    @given(st.integers(min_value=1, max_value=25))
+    def test_taint_survives_chains_of_any_length(self, n):
+        body = ["    v0 = time.time()"]
+        body += [f"    v{i} = v{i - 1}" for i in range(1, n + 1)]
+        body += [f"    return v{n}"]
+        source = "import time\n\n\ndef stamp():\n" + "\n".join(body) + "\n"
+        findings, _ = taint(source)
+        # Exactly one leak, at the return, however long the chain is.
+        assert [(f.rule, f.line) for f in findings] == [
+            ("determinism-taint", 4 + n + 2)
+        ]
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_clean_chains_never_fire(self, n):
+        body = ["    v0 = sim.now"]
+        body += [f"    v{i} = v{i - 1}" for i in range(1, n + 1)]
+        body += [f"    return v{n}"]
+        source = "def stamp(sim):\n" + "\n".join(body) + "\n"
+        findings, _ = taint(source)
+        assert findings == []
