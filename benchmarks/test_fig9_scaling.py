@@ -15,9 +15,8 @@ import pytest
 
 from benchmarks.conftest import run_experiment
 from repro.cluster.timeline import default_timeline, live_adoption_curve
+from repro.control.catalog import FIG9_MONTHS as MONTHS
 from repro.metrics import format_table
-
-MONTHS = 12
 
 
 @pytest.fixture(scope="module")

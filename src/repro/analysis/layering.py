@@ -54,7 +54,8 @@ ALLOWED_DEPS: Dict[str, FrozenSet[str]] = {
         {"baselines", "failures", "obs", "sim", "transcode", "vcu", "workloads"}
     ),
     "control": frozenset(
-        {"cluster", "failures", "obs", "sim", "transcode", "vcu", "video", "workloads"}
+        {"cluster", "codec", "failures", "obs", "sim", "transcode", "vcu",
+         "video", "workloads"}
     ),
     # entry points
     "runner": frozenset(

@@ -104,7 +104,25 @@ WORKER_HEALTH = MachineSpec(
     scope_packages=("cluster",),
 )
 
-DEFAULT_MACHINES: Tuple[MachineSpec, ...] = (JOB_LIFECYCLE, WORKER_HEALTH)
+FIRMWARE_ROLLOUT = MachineSpec(
+    name="firmware-rollout",
+    enum_module="repro.control.canary",
+    enum_name="RolloutStage",
+    table_module="repro.control.canary",
+    table_name="LEGAL_ROLLOUT_TRANSITIONS",
+    choke_module="repro.control.canary",
+    choke_class="FirmwareRollout",
+    choke_method="_set_stage",
+    state_attr="stage",
+    initial=("BASELINE",),
+    scope_packages=("control",),
+)
+
+DEFAULT_MACHINES: Tuple[MachineSpec, ...] = (
+    JOB_LIFECYCLE,
+    WORKER_HEALTH,
+    FIRMWARE_ROLLOUT,
+)
 
 
 @dataclass

@@ -198,10 +198,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from pathlib import Path
 
         cache = ResultCache(Path(args.cache_dir))
+    names = list(args.experiments) + list(args.only)
     try:
         result = run_experiments(
             registry,
-            names=args.experiments,
+            names=names,
             jobs=args.jobs,
             cache=cache,
             smoke=args.smoke,
@@ -422,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", nargs="*",
         help="experiment names to run (default: every registered experiment)",
     )
+    run.add_argument(
+        "--only", action="append", default=[], metavar="NAME",
+        help="run only this experiment (repeatable; combines with "
+             "positional names)",
+    )
     run.add_argument("--jobs", type=int, default=1,
                      help="worker processes to shard units across")
     run.add_argument("--cache-dir", default=".repro-cache",
@@ -430,7 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="recompute every unit, bypassing the cache")
     run.add_argument("--smoke", action="store_true",
                      help="reduced grids for a quick CI signal")
-    run.add_argument("--out", default="BENCH_PR5.json",
+    run.add_argument("--out", default="BENCH_PR10.json",
                      help="where to write the manifest")
     run.add_argument("--json", action="store_true",
                      help="print the manifest JSON instead of markdown")

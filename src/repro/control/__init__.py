@@ -22,82 +22,120 @@ is that layer for the simulated fleet:
   turns LIVE/UPLOAD jobs into ladder stream sessions.
 * :mod:`repro.control.live_ladder` -- the "live ladder" scenario and its
   time-to-first-segment latency scorecard.
+* :mod:`repro.control.catalog` -- the scenario catalog: grids, seeds,
+  and scorecard-key dispatch for every deployment-narrative experiment.
+* :mod:`repro.control.canary` -- the firmware canary-rollout scenario
+  (stage, detect regression from scorecards, roll back or promote).
+* :mod:`repro.control.chaos` -- the correlated-outage chaos campaign
+  (blast radius x repair capacity on a fleet-mode cluster).
+* :mod:`repro.control.surge` -- popularity-surge / live-mix-shift
+  demand disturbances over the platform-day machinery.
+
+Re-exports resolve lazily (PEP 562): ``repro.control.catalog`` is
+import-light by contract (a cache-hot ``repro-bench run`` expands grids
+without touching the cluster simulator), so importing the package must
+not eagerly pull the heavy scenario modules either.
 """
 
-from repro.control.admission import AdmissionConfig, AdmissionController
-from repro.control.failover import FailoverRouter, SiteRuntime
-from repro.control.jobs import (
-    CLASS_ORDER,
-    SHED_ORDER,
-    TERMINAL_STATES,
-    IllegalTransition,
-    Job,
-    JobRequest,
-    JobState,
-    RetryPolicy,
-    SloClass,
-)
-from repro.control.live_ladder import (
-    LiveLadderConfig,
-    LiveLadderResult,
-    run_live_ladder,
-)
-from repro.control.plane import (
-    ClusterExecutor,
-    ControlPlane,
-    ModeledExecutor,
-    make_sites,
-)
-from repro.control.queue import (
-    ClassQueue,
-    DeadLetter,
-    DeadLetterLedger,
-    JobLedger,
-    TransitionRecord,
-)
-from repro.control.scenario import (
-    ScenarioConfig,
-    ScenarioResult,
-    build_scorecard,
-    run_global_platform_day,
-    scorecard_keys,
-)
-from repro.control.streaming import StreamingExecutor
+from typing import TYPE_CHECKING
 
-# repro.control.live_ladder's own ``scorecard_keys``/``build_scorecard``
-# are intentionally NOT re-exported here (the names belong to the
-# flagship scenario); import them from the module directly.
+if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
+    from repro.control.admission import AdmissionConfig, AdmissionController
+    from repro.control.failover import FailoverRouter, SiteRuntime
+    from repro.control.jobs import (
+        CLASS_ORDER,
+        SHED_ORDER,
+        TERMINAL_STATES,
+        IllegalTransition,
+        Job,
+        JobRequest,
+        JobState,
+        RetryPolicy,
+        SloClass,
+    )
+    from repro.control.live_ladder import (
+        LiveLadderConfig,
+        LiveLadderResult,
+        run_live_ladder,
+    )
+    from repro.control.plane import (
+        ClusterExecutor,
+        ControlPlane,
+        ModeledExecutor,
+        make_sites,
+    )
+    from repro.control.queue import (
+        ClassQueue,
+        DeadLetter,
+        DeadLetterLedger,
+        JobLedger,
+        TransitionRecord,
+    )
+    from repro.control.scenario import (
+        ScenarioConfig,
+        ScenarioResult,
+        build_scorecard,
+        run_global_platform_day,
+        scorecard_keys,
+    )
+    from repro.control.streaming import StreamingExecutor
 
-__all__ = [
-    "AdmissionConfig",
-    "AdmissionController",
-    "CLASS_ORDER",
-    "ClassQueue",
-    "ClusterExecutor",
-    "ControlPlane",
-    "DeadLetter",
-    "DeadLetterLedger",
-    "FailoverRouter",
-    "IllegalTransition",
-    "Job",
-    "JobLedger",
-    "JobRequest",
-    "JobState",
-    "LiveLadderConfig",
-    "LiveLadderResult",
-    "ModeledExecutor",
-    "RetryPolicy",
-    "SHED_ORDER",
-    "ScenarioConfig",
-    "ScenarioResult",
-    "SiteRuntime",
-    "SloClass",
-    "StreamingExecutor",
-    "TERMINAL_STATES",
-    "TransitionRecord",
-    "build_scorecard",
-    "make_sites",
-    "run_global_platform_day",
-    "run_live_ladder",
-    "scorecard_keys",
-]
+# name -> defining submodule; repro.control.live_ladder's own
+# ``scorecard_keys``/``build_scorecard`` are intentionally NOT
+# re-exported here (the names belong to the flagship scenario), and the
+# canary/chaos/surge/catalog scenario APIs are module-scoped by design:
+# import them from their modules directly.
+_EXPORTS = {
+    "AdmissionConfig": "admission",
+    "AdmissionController": "admission",
+    "CLASS_ORDER": "jobs",
+    "ClassQueue": "queue",
+    "ClusterExecutor": "plane",
+    "ControlPlane": "plane",
+    "DeadLetter": "queue",
+    "DeadLetterLedger": "queue",
+    "FailoverRouter": "failover",
+    "IllegalTransition": "jobs",
+    "Job": "jobs",
+    "JobLedger": "queue",
+    "JobRequest": "jobs",
+    "JobState": "jobs",
+    "LiveLadderConfig": "live_ladder",
+    "LiveLadderResult": "live_ladder",
+    "ModeledExecutor": "plane",
+    "RetryPolicy": "jobs",
+    "SHED_ORDER": "jobs",
+    "ScenarioConfig": "scenario",
+    "ScenarioResult": "scenario",
+    "SiteRuntime": "failover",
+    "SloClass": "jobs",
+    "StreamingExecutor": "streaming",
+    "TERMINAL_STATES": "jobs",
+    "TransitionRecord": "queue",
+    "build_scorecard": "scenario",
+    "make_sites": "plane",
+    "run_global_platform_day": "scenario",
+    "run_live_ladder": "live_ladder",
+    "scorecard_keys": "scenario",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.control' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f"repro.control.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -17,6 +17,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence
 
+from repro.control import catalog
+from repro.control.catalog import (  # re-exported: the shared Figure 9
+    FIG9_BASE_VCU_WORKERS,  # settings live in the catalog now, one copy
+    FIG9_HORIZON_SECONDS,  # for this module, the timeline experiment,
+    FIG9_MONTHS,  # and benchmarks/test_fig9_scaling.py
+    FIG9_SEED,
+)
 from repro.runner.registry import ExperimentRegistry, ResultSchema, UnitContext
 
 _DEFAULT = ExperimentRegistry()
@@ -26,12 +33,6 @@ _DEFAULT = ExperimentRegistry()
 FIG7_FRAMES = 6
 FIG7_PROXY_HEIGHT = 60
 FIG7_SEED = 2
-
-#: Figure 9 replay settings (must match benchmarks/test_fig9_scaling.py).
-FIG9_MONTHS = 12
-FIG9_SEED = 5
-FIG9_HORIZON_SECONDS = 80.0
-FIG9_BASE_VCU_WORKERS = 6
 
 #: Global-platform-day settings (the control-plane flagship scenario).
 PLATFORM_DAY_SEED = 11
@@ -452,4 +453,184 @@ def table2_unit(ctx: UnitContext) -> Dict[str, Any]:
             }
             for row in rows
         ],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Scenario catalog -- the Section 5 deployment narrative as experiments.
+# Grids, seeds, and horizons come from repro.control.catalog (one source
+# of truth shared with CI's scorecard-key gates); the heavy scenario
+# modules load lazily inside the unit callables.
+
+
+def _canary_summarize(results: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for result in sorted(results, key=lambda r: r["candidate"]):
+        card = result["scorecard"]
+        rows.append({
+            "candidate": result["candidate"],
+            "stage": card["rollout.stage"],
+            "regression_detected": card["rollout.regression_detected"],
+            "throughput_delta": card["delta.throughput_frac"],
+            "unhealthy_delta": card["delta.unhealthy_frac"],
+            "hangs": card["cluster.hangs"],
+            "quarantined": card["cluster.workers_quarantined"],
+            "jobs_done": card["jobs.done"],
+            "conservation_ok": card["conservation.ok"],
+        })
+    return rows
+
+
+@_DEFAULT.experiment(
+    name="canary-rollout",
+    title="Firmware canary rollout — regression detection and rollback",
+    grid=catalog.canary_grid(),
+    smoke_grid=catalog.canary_grid(smoke=True),
+    seed=catalog.CANARY_SEED,
+    schema=ResultSchema(version=1, fields=("candidate", "scorecard")),
+    summarize=_canary_summarize,
+    sources=("repro.control.canary",),
+    group=catalog.CATALOG_GROUP,
+)
+def canary_rollout_unit(ctx: UnitContext) -> Dict[str, Any]:
+    from repro.control.canary import CanaryConfig, run_canary_rollout
+
+    config = CanaryConfig(
+        candidate=ctx.params["candidate"],
+        horizon_seconds=ctx.params["horizon_seconds"],
+    )
+    result = run_canary_rollout(config, seed=ctx.params["scenario_seed"])
+    return {
+        "candidate": ctx.params["candidate"],
+        "scorecard": result.scorecard,
+    }
+
+
+def _chaos_summarize(results: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for result in sorted(
+        results, key=lambda r: (r["blast_hosts"], r["repair_cap"])
+    ):
+        card = result["scorecard"]
+        rows.append({
+            "blast_hosts": result["blast_hosts"],
+            "repair_cap": result["repair_cap"],
+            "jobs_completed": card["jobs.completed"],
+            "hangs": card["cluster.hangs"],
+            "disabled_by_sweeps": card["fleet.disabled_by_sweeps"],
+            "hosts_repaired": card["repair.hosts_repaired"],
+            "available_end": card["fleet.available_end"],
+            "availability_exact": card["availability.exact"],
+            "conservation_ok": card["conservation.ok"],
+        })
+    return rows
+
+
+@_DEFAULT.experiment(
+    name="chaos-campaign",
+    title="Correlated-outage chaos campaign — blast radius × repair capacity",
+    grid=catalog.chaos_grid(),
+    smoke_grid=catalog.chaos_grid(smoke=True),
+    seed=catalog.CHAOS_SEED,
+    schema=ResultSchema(
+        version=1, fields=("blast_hosts", "repair_cap", "scorecard")
+    ),
+    summarize=_chaos_summarize,
+    sources=("repro.control.chaos",),
+    group=catalog.CATALOG_GROUP,
+)
+def chaos_campaign_unit(ctx: UnitContext) -> Dict[str, Any]:
+    from repro.control.chaos import ChaosCampaignConfig, run_chaos_campaign
+
+    config = ChaosCampaignConfig(
+        horizon_seconds=ctx.params["horizon_seconds"],
+        blast_hosts=ctx.params["blast_hosts"],
+        repair_cap=ctx.params["repair_cap"],
+    )
+    result = run_chaos_campaign(config, seed=ctx.params["scenario_seed"])
+    return {
+        "blast_hosts": ctx.params["blast_hosts"],
+        "repair_cap": ctx.params["repair_cap"],
+        "scorecard": result.scorecard,
+    }
+
+
+def _timeline_summarize(
+    results: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for result in sorted(results, key=lambda r: r["month"]):
+        card = result["scorecard"]
+        rows.append({
+            "month": result["month"],
+            "throughput_mpix_s": card["throughput_mpix_s"],
+            "vcu_workers": card["vcu_workers"],
+            "encoder_util": card["encoder_util"],
+            "bitrate_vs_sw_h264": card["bitrate_vs_software.h264"],
+            "bitrate_vs_sw_vp9": card["bitrate_vs_software.vp9"],
+            "milestones": card["milestones_shipped"],
+        })
+    return rows
+
+
+@_DEFAULT.experiment(
+    name="tuning-timeline",
+    title="Figures 9/10 — 16-month launch-and-iterate tuning timeline",
+    grid=catalog.timeline_grid(),
+    smoke_grid=catalog.timeline_grid(smoke=True),
+    seed=catalog.TIMELINE_SEED,
+    schema=ResultSchema(version=1, fields=("month", "scorecard")),
+    summarize=_timeline_summarize,
+    sources=("repro.control.catalog",),
+    group=catalog.CATALOG_GROUP,
+)
+def tuning_timeline_unit(ctx: UnitContext) -> Dict[str, Any]:
+    card = catalog.run_tuning_month(
+        month=ctx.params["month"],
+        workload_seed=ctx.params["workload_seed"],
+        horizon_seconds=ctx.params["horizon_seconds"],
+        base_vcu_workers=ctx.params["base_vcu_workers"],
+    )
+    return {"month": ctx.params["month"], "scorecard": card}
+
+
+def _surge_summarize(results: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for result in sorted(results, key=lambda r: r["scenario"]):
+        card = result["scorecard"]
+        rows.append({
+            "scenario": result["scenario"],
+            "submitted": card["jobs.submitted"],
+            "done": card["jobs.done"],
+            "jobs_in_window": card["event.jobs_in_window"],
+            "live_completion": card["class.live.completion_rate"],
+            "autoscale_actions": card["autoscale.actions"],
+            "failover_routed": card["failover.routed"],
+            "conservation_ok": card["conservation.ok"],
+        })
+    return rows
+
+
+@_DEFAULT.experiment(
+    name="surge-mix",
+    title="Demand disturbances — popularity surge and live mix shift",
+    grid=catalog.surge_grid(),
+    smoke_grid=catalog.surge_grid(smoke=True),
+    seed=catalog.SURGE_SEED,
+    schema=ResultSchema(version=1, fields=("scenario", "scorecard")),
+    summarize=_surge_summarize,
+    sources=("repro.control.surge",),
+    group=catalog.CATALOG_GROUP,
+)
+def surge_mix_unit(ctx: UnitContext) -> Dict[str, Any]:
+    from repro.control.surge import SurgeMixConfig, run_surge_mix
+
+    config = SurgeMixConfig(
+        scenario=ctx.params["scenario"],
+        day_seconds=ctx.params["day_seconds"],
+    )
+    result = run_surge_mix(config, seed=ctx.params["scenario_seed"])
+    return {
+        "scenario": ctx.params["scenario"],
+        "scorecard": result.scorecard,
     }

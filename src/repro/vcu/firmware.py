@@ -11,6 +11,14 @@ The model runs on the discrete-event engine so tests can assert the two
 scheduling properties the paper calls out: fairness (every queue makes
 forward progress) and work conservation (no core idles while compatible
 work is queued).
+
+Firmware is also the fleet's most dangerous deployment artifact: one bad
+build lands on every VCU at once (Section 5's canary discipline exists
+because of this).  :class:`FirmwareVersion` models a *release* as its
+observable behaviour deltas -- per-step host overhead and device-fault
+pressure -- so the control plane's canary-rollout scenario can stage a
+candidate on a slice of hosts and detect the regression from scorecards
+alone, exactly as production would.
 """
 
 from __future__ import annotations
@@ -23,6 +31,88 @@ from typing import Deque, Dict, List, Optional
 
 from repro import obs
 from repro.sim.engine import Event, Simulator
+
+
+@dataclass(frozen=True)
+class FirmwareVersion:
+    """One firmware release, described by its observable behaviour.
+
+    The codec cores are opaque; what a firmware build changes, from the
+    fleet's point of view, is the per-step host overhead (queue setup,
+    scheduling) and the device-fault pressure it induces.  A release
+    with every knob at its default is behaviourally identical to the
+    launch build.
+    """
+
+    version: str
+    #: Multiplier on each worker's fixed per-step overhead (1.0 = the
+    #: launch build's dispatch path).
+    step_overhead_multiplier: float = 1.0
+    #: Poisson device-stall pressure this build adds, per VCU-hour;
+    #: stalls clear after ``hang_duration_seconds`` (a wedged dispatch
+    #: loop recovers itself) but strike the cluster watchdog meanwhile.
+    hang_rate_per_hour: float = 0.0
+    hang_duration_seconds: float = 25.0
+    #: Poisson silent-corruption pressure, per VCU-hour (the dangerous
+    #: regression class: caught only by integrity checking).
+    corruption_rate_per_hour: float = 0.0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.version:
+            raise ValueError("firmware version needs a name")
+        if self.step_overhead_multiplier <= 0:
+            raise ValueError("step_overhead_multiplier must be positive")
+        if self.hang_rate_per_hour < 0 or self.corruption_rate_per_hour < 0:
+            raise ValueError("fault rates must be >= 0")
+        if self.hang_duration_seconds <= 0:
+            raise ValueError("hang_duration_seconds must be positive")
+
+    @property
+    def regressive(self) -> bool:
+        """Whether this build is worse than launch on any axis."""
+        return (
+            self.step_overhead_multiplier > 1.0
+            or self.hang_rate_per_hour > 0.0
+            or self.corruption_rate_per_hour > 0.0
+        )
+
+
+#: The launch build every VCU boots with.
+BASELINE_FIRMWARE = FirmwareVersion("fw-1.0.0", notes="launch build")
+
+#: The known releases, keyed by version.  ``rc1`` carries the regression
+#: the canary-rollout experiment must catch (a slow dispatch path plus a
+#: wedging stall bug); ``rc2`` is the respin that should promote.
+FIRMWARE_RELEASES: Dict[str, FirmwareVersion] = {
+    release.version: release
+    for release in (
+        BASELINE_FIRMWARE,
+        FirmwareVersion(
+            "fw-1.1.0-rc1",
+            step_overhead_multiplier=3.0,
+            hang_rate_per_hour=120.0,
+            hang_duration_seconds=25.0,
+            notes="regressed queue-setup path; dispatch loop wedges under load",
+        ),
+        FirmwareVersion(
+            "fw-1.1.0-rc2",
+            step_overhead_multiplier=0.95,
+            notes="rc1 regression fixed; slightly faster dispatch",
+        ),
+    )
+}
+
+
+def firmware_release(version: str) -> FirmwareVersion:
+    """Look up a release by version; raises with the known set."""
+    try:
+        return FIRMWARE_RELEASES[version]
+    except KeyError:
+        known = ", ".join(sorted(FIRMWARE_RELEASES))
+        raise KeyError(
+            f"unknown firmware version {version!r}; known: {known}"
+        ) from None
 
 
 class CommandKind(enum.Enum):

@@ -1,0 +1,112 @@
+"""Demand disturbances layered on the platform day (Section 5).
+
+Two event shapes the paper's fleet must absorb without violating SLOs:
+
+* a **popularity surge** -- a viral window where some classes' arrival
+  rates jump by a multiplier and then fall back (a premiere, a news
+  event driving uploads and popularity-driven re-encodes);
+* a **live mix shift** -- from some moment on, the class mix itself
+  tilts (a global live event: live arrivals jump while uploads dip)
+  and stays tilted for the rest of the day.
+
+:class:`EventedDayWorkload` superimposes these on
+:class:`~repro.workloads.platform.PlatformDayWorkload` through the same
+Poisson-thinning machinery as the diurnal envelope, via the
+``_rate_multiplier`` / ``_multiplier_bounds`` hooks.  A class whose
+multiplier is identically 1.0 consumes *exactly* the base workload's
+RNG draws, so adding an event to one class never perturbs another
+class's arrivals -- the property the determinism suite pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.sim.rng import SeedLike
+from repro.workloads.platform import PlatformDayConfig, PlatformDayWorkload
+
+
+@dataclass(frozen=True)
+class SurgeSpec:
+    """A transient rate surge on some SLO classes."""
+
+    #: Window bounds as fractions of the day.
+    start_frac: float = 0.45
+    duration_frac: float = 0.15
+    multiplier: float = 3.0
+    classes: Tuple[str, ...] = ("upload", "batch")
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_frac < 1.0:
+            raise ValueError("start_frac must be in [0, 1)")
+        if self.duration_frac <= 0 or self.start_frac + self.duration_frac > 1.0:
+            raise ValueError("surge window must fit inside the day")
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if not self.classes:
+            raise ValueError("a surge needs at least one class")
+
+
+@dataclass(frozen=True)
+class MixShiftSpec:
+    """A persistent class-mix tilt from ``start_frac`` to end of day."""
+
+    start_frac: float = 0.5
+    live_multiplier: float = 2.5
+    upload_multiplier: float = 0.7
+    batch_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_frac < 1.0:
+            raise ValueError("start_frac must be in [0, 1)")
+        for value in (
+            self.live_multiplier, self.upload_multiplier, self.batch_multiplier
+        ):
+            if value <= 0:
+                raise ValueError("class multipliers must be positive")
+
+    def multiplier_for(self, label: str) -> float:
+        return {
+            "live": self.live_multiplier,
+            "upload": self.upload_multiplier,
+            "batch": self.batch_multiplier,
+        }.get(label, 1.0)
+
+
+class EventedDayWorkload(PlatformDayWorkload):
+    """A platform day with a surge and/or mix shift superimposed."""
+
+    def __init__(
+        self,
+        config: PlatformDayConfig,
+        seed: SeedLike = 0,
+        surge: Optional[SurgeSpec] = None,
+        mix_shift: Optional[MixShiftSpec] = None,
+    ) -> None:
+        super().__init__(config, seed)
+        self.surge = surge
+        self.mix_shift = mix_shift
+
+    def _rate_multiplier(self, label: str, t: float) -> float:
+        day = self.config.day_seconds
+        multiplier = 1.0
+        surge = self.surge
+        if surge is not None and label in surge.classes:
+            start = surge.start_frac * day
+            if start <= t < start + surge.duration_frac * day:
+                multiplier *= surge.multiplier
+        shift = self.mix_shift
+        if shift is not None and t >= shift.start_frac * day:
+            multiplier *= shift.multiplier_for(label)
+        return multiplier
+
+    def _multiplier_bounds(self, label: str) -> Tuple[float, float]:
+        surge_values = [1.0]
+        if self.surge is not None and label in self.surge.classes:
+            surge_values.append(self.surge.multiplier)
+        shift_values = [1.0]
+        if self.mix_shift is not None:
+            shift_values.append(self.mix_shift.multiplier_for(label))
+        products = [s * m for s in surge_values for m in shift_values]
+        return (min(products), max(products))

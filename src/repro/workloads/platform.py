@@ -99,6 +99,25 @@ class PlatformDayWorkload:
             cy + float(rng.normal(0.0, scatter)),
         )
 
+    def _rate_multiplier(self, label: str, t: float) -> float:
+        """Event-driven demand multiplier for class ``label`` at ``t``.
+
+        The base workload has no events; :class:`~repro.workloads.
+        events.EventedDayWorkload` overrides this (and
+        :meth:`_multiplier_bounds`) to superimpose surges and mix
+        shifts via the same thinning the diurnal envelope uses.
+        """
+        return 1.0
+
+    def _multiplier_bounds(self, label: str) -> Tuple[float, float]:
+        """(min, max) of :meth:`_rate_multiplier` over the whole day.
+
+        The max bounds the thinning proposal rate; (1.0, 1.0) keeps the
+        base workload's draw sequence untouched, so subclassing with
+        events never perturbs an event-free class's arrivals.
+        """
+        return (1.0, 1.0)
+
     def _arrivals(
         self,
         rng: np.random.Generator,
@@ -106,20 +125,32 @@ class PlatformDayWorkload:
         until: float,
         phase_frac: float,
         diurnal: bool,
+        label: str = "",
     ) -> Iterator[float]:
         """Poisson arrivals, thinned against the diurnal envelope."""
         if rate <= 0:
             return
-        peak = rate * (1.0 + (self.config.diurnal_amplitude if diurnal else 0.0))
+        low, high = self._multiplier_bounds(label)
+        evented = (low, high) != (1.0, 1.0)
+        peak = (
+            rate
+            * (1.0 + (self.config.diurnal_amplitude if diurnal else 0.0))
+            * high
+        )
         t = 0.0
         while True:
             t += float(rng.exponential(1.0 / peak))
             if t >= until:
                 return
             if diurnal:
-                accept = self._envelope(t, phase_frac) / (
-                    1.0 + self.config.diurnal_amplitude
-                )
+                accept = (
+                    self._envelope(t, phase_frac)
+                    * self._rate_multiplier(label, t)
+                ) / ((1.0 + self.config.diurnal_amplitude) * high)
+                if rng.random() > accept:
+                    continue
+            elif evented:
+                accept = self._rate_multiplier(label, t) / high
                 if rng.random() > accept:
                     continue
             yield t
@@ -140,7 +171,10 @@ class PlatformDayWorkload:
 
         rng = split_rng(self._seed, "platform/upload")
         for index, t in enumerate(
-            self._arrivals(rng, config.upload_rate, until, 0.25, diurnal=True)
+            self._arrivals(
+                rng, config.upload_rate, until, 0.25, diurnal=True,
+                label="upload",
+            )
         ):
             service = 10.0 + float(rng.exponential(config.upload_service_mean))
             out.append(JobRequest(
@@ -155,7 +189,9 @@ class PlatformDayWorkload:
         rng = split_rng(self._seed, "platform/live")
         lag = 0.25 + config.live_phase_lag
         for index, t in enumerate(
-            self._arrivals(rng, config.live_rate, until, lag, diurnal=True)
+            self._arrivals(
+                rng, config.live_rate, until, lag, diurnal=True, label="live"
+            )
         ):
             out.append(JobRequest(
                 job_id=f"live-{index + 1}",
@@ -168,7 +204,10 @@ class PlatformDayWorkload:
 
         rng = split_rng(self._seed, "platform/batch")
         for index, t in enumerate(
-            self._arrivals(rng, config.batch_rate, until, 0.0, diurnal=False)
+            self._arrivals(
+                rng, config.batch_rate, until, 0.0, diurnal=False,
+                label="batch",
+            )
         ):
             service = 30.0 + float(rng.exponential(config.batch_service_mean))
             out.append(JobRequest(
